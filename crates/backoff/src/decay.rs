@@ -1,0 +1,200 @@
+//! The exponential-decay backoff protocol (footnote 4 of the paper).
+//!
+//! `m ≤ n_max` stations contend on a collision-as-silence channel. Time
+//! is grouped into *epochs* of `⌈log₂ n_max⌉ + 1` rounds; in round `j`
+//! of an epoch (0-based) every still-active station transmits with
+//! probability `2^{-j}`. When the transmission probability passes near
+//! `1/m`, exactly one station transmits with constant probability, so
+//! each epoch succeeds with constant probability and `O(log n)` epochs —
+//! `O(log² n)` rounds — suffice with high probability.
+//!
+//! On the first success all other stations *receive* the message and
+//! abort; the transmitter is the only station that never heard anything,
+//! which is how it learns it won. This exactly realizes the paper's
+//! abstract collision model: one winner (uniform by symmetry), success
+//! feedback for the winner, and the winning message delivered to
+//! everyone else.
+
+use crate::radio::{resolve_round, RoundOutcome};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The result of resolving one contention episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentionResult {
+    /// The station whose message got through.
+    pub winner: usize,
+    /// Physical rounds consumed before the success.
+    pub rounds: u64,
+}
+
+/// Number of rounds per decay epoch for a population bound `n_max`.
+///
+/// # Examples
+///
+/// ```
+/// use crn_backoff::decay::epoch_len;
+/// assert_eq!(epoch_len(1), 1);
+/// assert_eq!(epoch_len(8), 4);
+/// assert_eq!(epoch_len(9), 5);
+/// ```
+pub fn epoch_len(n_max: usize) -> u32 {
+    (n_max.max(1) as f64).log2().ceil() as u32 + 1
+}
+
+/// Runs decay backoff among `m` contenders until one succeeds, or
+/// `max_rounds` pass.
+///
+/// Returns `None` only if the round budget is exhausted (for sane
+/// budgets like `8·epoch_len(n_max)²` this is vanishingly rare).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > n_max`.
+///
+/// # Examples
+///
+/// ```
+/// use crn_backoff::decay::resolve_contention;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = resolve_contention(5, 16, 10_000, &mut rng).unwrap();
+/// assert!(r.winner < 5);
+/// ```
+pub fn resolve_contention(
+    m: usize,
+    n_max: usize,
+    max_rounds: u64,
+    rng: &mut StdRng,
+) -> Option<ContentionResult> {
+    assert!(m >= 1, "need at least one contender");
+    assert!(m <= n_max, "m = {m} exceeds the population bound n_max = {n_max}");
+    let epoch = epoch_len(n_max);
+    let mut transmitting = vec![false; m];
+    for round in 0..max_rounds {
+        let j = (round % epoch as u64) as i32;
+        let p = 0.5f64.powi(j).min(1.0);
+        for t in transmitting.iter_mut() {
+            *t = rng.gen_bool(p);
+        }
+        if let RoundOutcome::Success(winner) = resolve_round(&transmitting) {
+            return Some(ContentionResult {
+                winner,
+                rounds: round + 1,
+            });
+        }
+        // Collision or silence: receivers heard nothing; every station
+        // stays active and the epoch continues.
+    }
+    None
+}
+
+/// A recommended round budget that succeeds w.h.p.: `8·epoch_len²`
+/// (constant-probability success per epoch × `O(log n)` epochs for high
+/// probability).
+pub fn recommended_rounds(n_max: usize) -> u64 {
+    let e = epoch_len(n_max) as u64;
+    8 * e * e + 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_contender_wins_first_round() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = resolve_contention(1, 1, 10, &mut rng).unwrap();
+        assert_eq!(r.winner, 0);
+        assert_eq!(r.rounds, 1, "p = 1 in round 0 of every epoch");
+    }
+
+    #[test]
+    fn always_resolves_within_recommended_budget() {
+        for n_max in [2usize, 8, 32, 128] {
+            for m in [1usize, 2, n_max / 2 + 1, n_max] {
+                let mut failures = 0;
+                for seed in 0..200 {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    if resolve_contention(m, n_max, recommended_rounds(n_max), &mut rng)
+                        .is_none()
+                    {
+                        failures += 1;
+                    }
+                }
+                assert!(
+                    failures <= 2,
+                    "m={m}, n_max={n_max}: {failures}/200 budget misses"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn winner_distribution_is_roughly_uniform() {
+        // By symmetry every contender should win ~equally often — this
+        // is what justifies the abstract model's uniform winner pick.
+        let m = 4;
+        let trials = 4000;
+        let mut wins = vec![0usize; m];
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed as u64);
+            let r = resolve_contention(m, 16, 10_000, &mut rng).unwrap();
+            wins[r.winner] += 1;
+        }
+        let expect = trials / m;
+        for (i, &w) in wins.iter().enumerate() {
+            assert!(
+                (w as f64) > expect as f64 * 0.85 && (w as f64) < expect as f64 * 1.15,
+                "station {i} won {w} times, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rounds_grow_slowly_with_population() {
+        // Mean resolution rounds should scale like log², i.e. far
+        // slower than linearly.
+        let mean = |m: usize, n_max: usize| -> f64 {
+            let trials = 300;
+            let mut total = 0u64;
+            for seed in 0..trials {
+                let mut rng = StdRng::seed_from_u64(seed);
+                total += resolve_contention(m, n_max, 1_000_000, &mut rng)
+                    .unwrap()
+                    .rounds;
+            }
+            total as f64 / trials as f64
+        };
+        let t_small = mean(4, 4);
+        let t_big = mean(256, 256);
+        // 64x the contenders should cost far less than 64x the rounds.
+        assert!(
+            t_big < t_small * 16.0,
+            "decay not polylogarithmic? {t_small} -> {t_big}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one contender")]
+    fn zero_contenders_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        resolve_contention(0, 4, 10, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the population bound")]
+    fn over_population_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        resolve_contention(9, 4, 10, &mut rng);
+    }
+
+    #[test]
+    fn epoch_len_is_log2_plus_one() {
+        assert_eq!(epoch_len(0), 1);
+        assert_eq!(epoch_len(2), 2);
+        assert_eq!(epoch_len(1024), 11);
+    }
+}

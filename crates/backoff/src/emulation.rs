@@ -1,0 +1,132 @@
+//! Emulating the paper's abstract collision slot on the physical radio.
+//!
+//! One abstract slot — "one of the concurrent transmissions, chosen
+//! uniformly at random, is received by everyone; broadcasters learn
+//! whether they won; losers receive the winner's message" — expands to
+//! one decay-backoff episode of `O(log² n)` physical rounds:
+//!
+//! 1. the contenders run [`crate::decay::resolve_contention`];
+//! 2. the first lone transmission is the winner's *message round*:
+//!    every listener and every losing contender receives it (satisfying
+//!    the model's "failed ones receive the message that was sent");
+//! 3. losers abort on reception; the winner, having heard nothing,
+//!    knows it succeeded (the model's success feedback).
+//!
+//! [`emulate_slot`] packages this; the `crn-bench` harness uses it for
+//! experiment F10 to report the virtual-slot cost curve.
+
+use crate::decay::{recommended_rounds, resolve_contention};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+
+/// The outcome of emulating one abstract slot for `m` contenders and
+/// any number of passive listeners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmulatedSlot {
+    /// Index of the winning contender.
+    pub winner: usize,
+    /// The winner's payload, as delivered to every listener and loser.
+    pub delivered: Bytes,
+    /// Physical rounds the abstract slot cost.
+    pub physical_rounds: u64,
+}
+
+/// Emulates one abstract collision-model slot.
+///
+/// `payloads[i]` is contender `i`'s message. Returns `None` if the
+/// round budget (sized by [`recommended_rounds`]) is exhausted — the
+/// abstract model's "with high probability" caveat made concrete.
+///
+/// # Panics
+///
+/// Panics if `payloads` is empty or exceeds `n_max`.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use crn_backoff::emulation::emulate_slot;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let payloads = vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")];
+/// let slot = emulate_slot(&payloads, 8, &mut rng).unwrap();
+/// assert_eq!(slot.delivered, payloads[slot.winner]);
+/// ```
+pub fn emulate_slot(
+    payloads: &[Bytes],
+    n_max: usize,
+    rng: &mut StdRng,
+) -> Option<EmulatedSlot> {
+    let result = resolve_contention(payloads.len(), n_max, recommended_rounds(n_max), rng)?;
+    Some(EmulatedSlot {
+        winner: result.winner,
+        delivered: payloads[result.winner].clone(),
+        physical_rounds: result.rounds,
+    })
+}
+
+/// Mean physical rounds per abstract slot for `m` contenders, over
+/// `trials` seeded episodes — the series behind experiment F10.
+pub fn mean_rounds_per_slot(m: usize, n_max: usize, trials: usize, seed: u64) -> f64 {
+    use rand::SeedableRng;
+    let payloads: Vec<Bytes> = (0..m)
+        .map(|i| Bytes::from(i.to_le_bytes().to_vec()))
+        .collect();
+    let mut total = 0u64;
+    let mut done = 0usize;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
+        if let Some(slot) = emulate_slot(&payloads, n_max, &mut rng) {
+            total += slot.physical_rounds;
+            done += 1;
+        }
+    }
+    if done == 0 {
+        f64::NAN
+    } else {
+        total as f64 / done as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delivered_payload_matches_winner() {
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let payloads: Vec<Bytes> = (0..6u8).map(|i| Bytes::from(vec![i])).collect();
+            let slot = emulate_slot(&payloads, 8, &mut rng).unwrap();
+            assert_eq!(slot.delivered[0] as usize, slot.winner);
+        }
+    }
+
+    #[test]
+    fn lone_contender_pays_one_round() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let slot = emulate_slot(&[Bytes::from_static(b"x")], 1, &mut rng).unwrap();
+        assert_eq!(slot.physical_rounds, 1);
+        assert_eq!(slot.winner, 0);
+    }
+
+    #[test]
+    fn mean_rounds_stay_polylog() {
+        let small = mean_rounds_per_slot(2, 256, 200, 1);
+        let large = mean_rounds_per_slot(200, 256, 200, 2);
+        assert!(small.is_finite() && large.is_finite());
+        // 100x contenders, same n_max: both bounded by the same
+        // O(log² n_max) budget, and the ratio should be small.
+        assert!(large < small * 12.0, "small={small}, large={large}");
+        assert!(large < 200.0, "rounds per slot implausibly high: {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one contender")]
+    fn empty_contender_set_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        emulate_slot(&[], 4, &mut rng);
+    }
+}

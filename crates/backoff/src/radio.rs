@@ -1,0 +1,94 @@
+//! A *physical* single-channel radio with collision-as-silence.
+//!
+//! The paper's abstract collision model (one uniformly random winner per
+//! contended channel, with success feedback) is justified by footnote 4:
+//! it can be realized on a standard radio — where simultaneous
+//! transmissions destroy each other and nobody learns why the channel
+//! was quiet — via a decay-style backoff costing `O(log² n)` rounds.
+//! This module is that standard radio; [`crate::decay`] is the backoff.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one physical round on a single channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundOutcome {
+    /// Nobody transmitted.
+    Silence,
+    /// Exactly one station transmitted: its message is received by all
+    /// listeners. The payload is the transmitter's index.
+    Success(usize),
+    /// Two or more stations transmitted; receivers cannot distinguish
+    /// this from silence (no collision detection).
+    Collision,
+}
+
+impl RoundOutcome {
+    /// True for [`RoundOutcome::Success`].
+    pub fn is_success(self) -> bool {
+        matches!(self, RoundOutcome::Success(_))
+    }
+}
+
+/// Resolves one physical round: `transmitting[i]` says whether station
+/// `i` transmits.
+///
+/// # Examples
+///
+/// ```
+/// use crn_backoff::radio::{resolve_round, RoundOutcome};
+/// assert_eq!(resolve_round(&[false, false]), RoundOutcome::Silence);
+/// assert_eq!(resolve_round(&[false, true]), RoundOutcome::Success(1));
+/// assert_eq!(resolve_round(&[true, true]), RoundOutcome::Collision);
+/// ```
+pub fn resolve_round(transmitting: &[bool]) -> RoundOutcome {
+    let mut winner = None;
+    for (i, &tx) in transmitting.iter().enumerate() {
+        if tx {
+            if winner.is_some() {
+                return RoundOutcome::Collision;
+            }
+            winner = Some(i);
+        }
+    }
+    match winner {
+        Some(i) => RoundOutcome::Success(i),
+        None => RoundOutcome::Silence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_channel_is_silent() {
+        assert_eq!(resolve_round(&[]), RoundOutcome::Silence);
+        assert_eq!(resolve_round(&[false; 5]), RoundOutcome::Silence);
+    }
+
+    #[test]
+    fn single_transmitter_succeeds() {
+        let mut tx = vec![false; 6];
+        tx[3] = true;
+        assert_eq!(resolve_round(&tx), RoundOutcome::Success(3));
+        assert!(resolve_round(&tx).is_success());
+    }
+
+    #[test]
+    fn any_two_transmitters_collide() {
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let mut tx = vec![false; 4];
+                tx[i] = true;
+                tx[j] = true;
+                assert_eq!(resolve_round(&tx), RoundOutcome::Collision);
+            }
+        }
+    }
+
+    #[test]
+    fn collision_is_not_success() {
+        assert!(!RoundOutcome::Collision.is_success());
+        assert!(!RoundOutcome::Silence.is_success());
+    }
+}

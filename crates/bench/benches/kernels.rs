@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the protocol kernels (engine throughput,
+//! per-slot protocol cost) — the ablation companion to the
+//! per-experiment benches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crn_core::cogcast::CogCast;
+use crn_sim::assignment::shared_core;
+use crn_sim::channel_model::StaticChannels;
+use crn_sim::Network;
+
+/// Engine slot throughput: how fast one simulated slot executes as the
+/// network grows (all nodes active, COGCAST workload).
+fn bench_engine_slots(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("engine_slot");
+    for &n in &[16usize, 64, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let model = StaticChannels::local(shared_core(n, 8, 2).unwrap(), 1);
+            let mut protos = vec![CogCast::source(0u8)];
+            protos.extend((1..n).map(|_| CogCast::node()));
+            let mut net = Network::new(model, protos, 1).unwrap();
+            b.iter(|| {
+                net.step();
+                black_box(net.slot())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Channel-assignment generation cost across patterns.
+fn bench_assignment(cr: &mut Criterion) {
+    use crn_sim::assignment::OverlapPattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut g = cr.benchmark_group("assignment");
+    for pattern in OverlapPattern::ALL {
+        g.bench_function(pattern.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(pattern.generate(128, 16, 4, &mut rng).unwrap().n()));
+        });
+    }
+    g.finish();
+}
+
+/// Matching sampling and game rounds for the lower-bound machinery.
+fn bench_games(cr: &mut Criterion) {
+    use crn_lowerbounds::{Edge, HittingGame};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    cr.bench_function("game_setup_and_64_proposals", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut game = HittingGame::new(64, 8, &mut rng);
+            for a in 0..8u32 {
+                for bb in 0..8u32 {
+                    black_box(game.propose(Edge::new(a, bb)));
+                }
+            }
+            black_box(game.rounds())
+        });
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_engine_slots, bench_assignment, bench_games
+}
+criterion_main!(kernels);

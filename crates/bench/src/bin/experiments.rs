@@ -1,0 +1,120 @@
+//! Regenerates the paper-claim tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments all [--quick] [--out results.md]
+//! experiments t1 f4 f10 [--quick]
+//! experiments --list
+//! ```
+
+use crn_bench::{run_experiment, Effort, EXPERIMENT_IDS};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let effort = if args.iter().any(|a| a == "--quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut out_file = match &out_path {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let skip_values: Vec<&String> = out_path.iter().chain(csv_dir.iter()).collect();
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && !skip_values.contains(a))
+        .map(|a| a.to_lowercase())
+        .collect();
+    if ids.iter().any(|a| a == "all") {
+        ids = EXPERIMENT_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if ids.is_empty() {
+        eprintln!("no experiments selected; try `experiments all --quick`");
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        let start = std::time::Instant::now();
+        match run_experiment(id, effort) {
+            Some(artifact) => {
+                let footer = format!(
+                    "[{} completed in {:.1}s at {:?} effort]\n",
+                    id,
+                    start.elapsed().as_secs_f64(),
+                    effort
+                );
+                println!("{artifact}");
+                println!("{footer}");
+                if let Some(f) = out_file.as_mut() {
+                    if let Err(e) = writeln!(f, "{artifact}\n{footer}") {
+                        eprintln!("write failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if let Some(dir) = &csv_dir {
+                    let path = format!("{dir}/{id}.csv");
+                    if let Err(e) = std::fs::write(&path, artifact.to_csv()) {
+                        eprintln!("cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (see --list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = out_path {
+        eprintln!("results written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    println!("experiments — regenerate the PODC'15 reproduction tables and figures");
+    println!();
+    println!("USAGE: experiments <id>... | all [--quick]");
+    println!();
+    println!("ids: {}", EXPERIMENT_IDS.join(" "));
+    println!();
+    println!("  --quick      reduced trial counts and sweep sizes");
+    println!("  --list       print the experiment ids");
+    println!("  --out FILE   also write the rendered output to FILE");
+    println!("  --csv DIR    also write each artifact as DIR/<id>.csv");
+}

@@ -1,0 +1,116 @@
+//! Effort levels and the parallel trial runner.
+
+use crossbeam::thread;
+use serde::{Deserialize, Serialize};
+
+/// How much work an experiment invocation spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effort {
+    /// Reduced trials/grids: seconds per experiment. Used by the
+    /// Criterion benches and `experiments --quick`.
+    Quick,
+    /// The full grids reported in EXPERIMENTS.md.
+    Full,
+}
+
+impl Effort {
+    /// Scales a full-effort trial count down for quick runs.
+    ///
+    /// ```
+    /// use crn_bench::Effort;
+    /// assert_eq!(Effort::Full.trials(30), 30);
+    /// assert_eq!(Effort::Quick.trials(30), 6);
+    /// assert_eq!(Effort::Quick.trials(3), 2);
+    /// ```
+    pub fn trials(self, full: usize) -> usize {
+        match self {
+            Effort::Full => full,
+            Effort::Quick => (full / 5).max(2),
+        }
+    }
+
+    /// Caps a sweep list for quick runs (keeps a prefix).
+    pub fn sweep<T: Clone>(self, full: &[T]) -> Vec<T> {
+        match self {
+            Effort::Full => full.to_vec(),
+            Effort::Quick => full[..full.len().min(3)].to_vec(),
+        }
+    }
+}
+
+/// Runs `f(seed)` for seeds `0..trials` across all cores and returns
+/// the results in seed order.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+///
+/// # Examples
+///
+/// ```
+/// use crn_bench::effort::par_trials;
+/// let xs = par_trials(8, |seed| seed * 2);
+/// assert_eq!(xs, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+/// ```
+pub fn par_trials<T: Send>(trials: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(trials.max(1));
+    if workers <= 1 {
+        return (0..trials as u64).map(f).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    let chunk = trials.div_ceil(workers);
+    thread::scope(|s| {
+        for (w, slice) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f((w * chunk + i) as u64));
+                }
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Mean of `f(seed)` over `trials` seeds, where `f` yields a slot count.
+pub fn mean_slots(trials: usize, f: impl Fn(u64) -> u64 + Sync) -> f64 {
+    let xs = par_trials(trials, f);
+    xs.iter().sum::<u64>() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_trials_preserves_order() {
+        let xs = par_trials(100, |s| s);
+        assert_eq!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_trials_zero_is_empty() {
+        let xs: Vec<u64> = par_trials(0, |s| s);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn mean_slots_averages() {
+        assert_eq!(mean_slots(4, |s| s + 1), 2.5);
+    }
+
+    #[test]
+    fn quick_effort_shrinks() {
+        assert!(Effort::Quick.trials(100) < 100);
+        assert!(Effort::Quick.trials(100) >= 2);
+        assert_eq!(Effort::Quick.sweep(&[1, 2, 3, 4, 5]).len(), 3);
+        assert_eq!(Effort::Full.sweep(&[1, 2, 3, 4, 5]).len(), 5);
+    }
+}

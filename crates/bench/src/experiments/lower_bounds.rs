@@ -1,0 +1,144 @@
+//! Lower-bound experiments: T3, T4, F11.
+
+use crate::effort::Effort;
+use crn_core::bounds::{global_label_floor, hitting_game_floor};
+use crn_lowerbounds::global_label::{mean_first_overlap, SourceStrategy};
+use crn_lowerbounds::players::{survival_curve, FreshPlayer, UniformPlayer};
+use crn_stats::Table;
+
+/// **T3** — Lemma 11: no player wins the `(c,k)`-bipartite hitting game
+/// within `c²/(8k)` rounds with probability ½ (`β = 2`). Reports the
+/// empirical win probability *at the floor* for the uniform and
+/// fresh-edge players.
+pub fn t3(effort: Effort) -> Table {
+    let grid: &[(usize, usize)] = &[(16, 2), (32, 2), (32, 4), (64, 8), (48, 6)];
+    let trials = effort.trials(500);
+    let mut t = Table::new(
+        "T3: (c,k)-bipartite hitting game — win probability at the Lemma 11 floor c²/(8k)",
+        &["c", "k", "floor", "P[win] uniform", "P[win] fresh", "< 1/2 ?"],
+    );
+    for &(c, k) in &effort.sweep(grid) {
+        let floor = hitting_game_floor(c, k, 2.0);
+        let uni = *survival_curve(c, k, trials, floor, 11, UniformPlayer::new)
+            .last()
+            .unwrap();
+        let fresh = *survival_curve(c, k, trials, floor, 13, FreshPlayer::new)
+            .last()
+            .unwrap();
+        t.push_row(vec![
+            c.to_string(),
+            k.to_string(),
+            floor.to_string(),
+            format!("{uni:.3}"),
+            format!("{fresh:.3}"),
+            (uni < 0.5 && fresh < 0.5).to_string(),
+        ]);
+    }
+    t
+}
+
+/// **T4** — Theorem 16: in the random shared-core setup under global
+/// labels, every strategy needs `≥ (c+1)/(k+1)` expected slots before
+/// the source first touches an overlap channel.
+pub fn t4(effort: Effort) -> Table {
+    let grid: &[(usize, usize)] = &[(8, 1), (16, 2), (32, 4), (64, 4), (64, 16)];
+    let trials = effort.trials(3000);
+    let budget = 1_000_000;
+    let mut t = Table::new(
+        "T4: global-label first-overlap floor (c+1)/(k+1) — Theorem 16",
+        &["c", "k", "floor", "mean uniform", "mean scan", ">= floor ?"],
+    );
+    for &(c, k) in &effort.sweep(grid) {
+        let floor = global_label_floor(c, k);
+        let uni = mean_first_overlap(c, k, SourceStrategy::Uniform, trials, 21, budget);
+        let scan = mean_first_overlap(c, k, SourceStrategy::Scan, trials, 22, budget);
+        t.push_row(vec![
+            c.to_string(),
+            k.to_string(),
+            format!("{floor:.2}"),
+            format!("{uni:.2}"),
+            format!("{scan:.2}"),
+            (uni >= floor * 0.9 && scan >= floor * 0.9).to_string(),
+        ]);
+    }
+    t
+}
+
+/// **F11** — survival curves for Lemmas 11 and 14: cumulative win
+/// probability at fractions/multiples of the respective floors,
+/// showing the ½ threshold is only crossed past the floor.
+pub fn f11(effort: Effort) -> Table {
+    let trials = effort.trials(500);
+    let mut t = Table::new(
+        "F11: hitting-game survival — P[win by round] at checkpoints around the floor",
+        &["game", "player", "floor/4", "floor/2", "floor", "2*floor", "4*floor"],
+    );
+    // Lemma 11 instance.
+    let (c, k) = (32usize, 4usize);
+    let floor = hitting_game_floor(c, k, 2.0);
+    let max = floor * 4;
+    let checkpoints = [floor / 4, floor / 2, floor, 2 * floor, 4 * floor];
+    let label = format!("({c},{k})-hitting");
+    for (name, curve) in [
+        (
+            "uniform",
+            survival_curve(c, k, trials, max, 31, UniformPlayer::new),
+        ),
+        (
+            "fresh",
+            survival_curve(c, k, trials, max, 32, FreshPlayer::new),
+        ),
+    ] {
+        let mut row = vec![label.clone(), name.to_string()];
+        for &cp in &checkpoints {
+            row.push(format!("{:.3}", curve[(cp.max(1) - 1) as usize]));
+        }
+        t.push_row(row);
+    }
+    // Lemma 14 instance (k = c, floor c/3).
+    let c2 = 30usize;
+    let floor2 = (c2 / 3) as u64;
+    let max2 = floor2 * 4;
+    let checkpoints2 = [floor2 / 4, floor2 / 2, floor2, 2 * floor2, 4 * floor2];
+    let curve = survival_curve(c2, c2, trials, max2, 33, FreshPlayer::new);
+    let mut row = vec![format!("{c2}-complete"), "fresh".to_string()];
+    for &cp in &checkpoints2 {
+        row.push(format!("{:.3}", curve[(cp.max(1) - 1) as usize]));
+    }
+    t.push_row(row);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t3_all_rows_respect_floor() {
+        let t = t3(Effort::Quick);
+        for row in t.rows() {
+            assert_eq!(row[5], "true", "floor violated: {row:?}");
+        }
+    }
+
+    #[test]
+    fn t4_all_rows_respect_floor() {
+        let t = t4(Effort::Quick);
+        for row in t.rows() {
+            assert_eq!(row[5], "true", "floor violated: {row:?}");
+        }
+    }
+
+    #[test]
+    fn f11_curves_are_monotone_rows() {
+        let t = f11(Effort::Quick);
+        for row in t.rows() {
+            let vals: Vec<f64> = row[2..].iter().map(|v| v.parse().unwrap()).collect();
+            for w in vals.windows(2) {
+                assert!(w[0] <= w[1] + 1e-9, "non-monotone survival: {row:?}");
+            }
+            // At the floor itself, below 1/2.
+            assert!(vals[2] < 0.5, "won at the floor: {row:?}");
+        }
+    }
+}

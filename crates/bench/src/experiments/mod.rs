@@ -1,0 +1,98 @@
+//! The experiment registry: one entry per reproduced table/figure.
+//!
+//! See DESIGN.md for the experiment index (what each id reproduces and
+//! which paper claim it checks) and EXPERIMENTS.md for recorded runs.
+
+pub mod ablations;
+pub mod aggregation;
+pub mod broadcast;
+pub mod lower_bounds;
+pub mod special;
+
+use crate::effort::Effort;
+use crn_stats::{Series, Table};
+use std::fmt;
+
+/// A produced experiment artifact: a table or a figure series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// A reproduced "table".
+    Table(Table),
+    /// A reproduced "figure" (x/y series with an ASCII chart).
+    Series(Series),
+}
+
+impl Artifact {
+    /// Renders the artifact as CSV (tables: header + rows; series:
+    /// `x,y` pairs).
+    pub fn to_csv(&self) -> String {
+        match self {
+            Artifact::Table(t) => t.to_csv(),
+            Artifact::Series(s) => s.to_csv(),
+        }
+    }
+}
+
+impl fmt::Display for Artifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Artifact::Table(t) => t.fmt(f),
+            Artifact::Series(s) => s.fmt(f),
+        }
+    }
+}
+
+/// All experiment ids, in DESIGN.md order.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9",
+    "f10", "f11", "f12", "f13", "f14", "f15", "a1", "a2", "a3", "a4",
+];
+
+/// Runs one experiment by id; `None` for an unknown id.
+pub fn run_experiment(id: &str, effort: Effort) -> Option<Artifact> {
+    let artifact = match id {
+        "t1" => Artifact::Table(broadcast::t1(effort)),
+        "t2" => Artifact::Table(aggregation::t2(effort)),
+        "t3" => Artifact::Table(lower_bounds::t3(effort)),
+        "t4" => Artifact::Table(lower_bounds::t4(effort)),
+        "t5" => Artifact::Table(special::t5(effort)),
+        "t6" => Artifact::Table(ablations::t6(effort)),
+        "a1" => Artifact::Table(ablations::a1(effort)),
+        "a2" => Artifact::Table(ablations::a2(effort)),
+        "a3" => Artifact::Table(ablations::a3(effort)),
+        "a4" => Artifact::Table(ablations::a4(effort)),
+        "f1" => Artifact::Series(broadcast::f1(effort)),
+        "f2" => Artifact::Series(broadcast::f2(effort)),
+        "f3" => Artifact::Series(broadcast::f3(effort)),
+        "f4" => Artifact::Series(broadcast::f4(effort)),
+        "f5" => Artifact::Table(aggregation::f5(effort)),
+        "f6" => Artifact::Table(aggregation::f6(effort)),
+        "f7" => Artifact::Table(broadcast::f7(effort)),
+        "f8" => Artifact::Series(broadcast::f8(effort)),
+        "f9" => Artifact::Table(special::f9(effort)),
+        "f10" => Artifact::Series(special::f10(effort)),
+        "f11" => Artifact::Table(lower_bounds::f11(effort)),
+        "f12" => Artifact::Series(aggregation::f12(effort)),
+        "f13" => Artifact::Table(broadcast::f13(effort)),
+        "f14" => Artifact::Table(special::f14(effort)),
+        "f15" => Artifact::Table(special::f15(effort)),
+        _ => return None,
+    };
+    Some(artifact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("nope", Effort::Quick).is_none());
+    }
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let set: std::collections::HashSet<_> = EXPERIMENT_IDS.iter().collect();
+        assert_eq!(set.len(), EXPERIMENT_IDS.len());
+    }
+}

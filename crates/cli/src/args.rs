@@ -1,0 +1,114 @@
+//! A tiny `--key value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options: `--key value` pairs plus positional
+/// arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Opts {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Opts {
+    /// Parses raw arguments. A `--key` followed by another `--key` (or
+    /// nothing) is treated as a boolean flag with value `"true"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message for malformed flags (e.g. `---x`).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = Opts::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if key.is_empty() || key.starts_with('-') {
+                    return Err(format!("malformed flag: {arg}"));
+                }
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                opts.flags.insert(key.to_string(), value);
+            } else {
+                opts.positional.push(arg);
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string option, or the default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// A typed option, or the default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// True if the boolean flag was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Opts {
+        Opts::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let o = parse(&["broadcast", "--n", "32", "--seed", "7"]);
+        assert_eq!(o.positional(), &["broadcast".to_string()]);
+        assert_eq!(o.get::<usize>("n", 0).unwrap(), 32);
+        assert_eq!(o.get::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(o.get::<usize>("missing", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let o = parse(&["x", "--quick", "--n", "4"]);
+        assert!(o.has("quick"));
+        assert!(!o.has("slow"));
+        assert_eq!(o.get_str("quick", ""), "true");
+    }
+
+    #[test]
+    fn trailing_boolean_flag() {
+        let o = parse(&["--deterministic"]);
+        assert!(o.has("deterministic"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Opts::parse(vec!["---x".to_string()]).is_err());
+        let o = parse(&["--n", "abc"]);
+        assert!(o.get::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn string_options() {
+        let o = parse(&["--pattern", "shared-core"]);
+        assert_eq!(o.get_str("pattern", "x"), "shared-core");
+        assert_eq!(o.get_str("other", "fallback"), "fallback");
+    }
+}

@@ -1,0 +1,51 @@
+//! `crn` — the command-line driver.
+//!
+//! ```text
+//! crn broadcast --n 64 --c 8 --k 2
+//! crn aggregate --op mean --n 40
+//! crn rendezvous --c 12 --k 3 --deterministic
+//! crn flood --topology grid --n 25
+//! crn game --c 32 --k 4 --player fresh
+//! crn jam --n 16 --c 12 --k 3 --strategy sweep
+//! crn backoff --m 64
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        print!("{}", commands::help());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match args::Opts::parse(raw) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(command) = opts.positional().first().cloned() else {
+        eprintln!("missing command\n");
+        eprint!("{}", commands::help());
+        return ExitCode::FAILURE;
+    };
+    match commands::dispatch(&command, &opts) {
+        Some(Ok(report)) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("unknown command {command:?}\n");
+            eprint!("{}", commands::help());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,710 @@
+//! The COGCOMP per-node state machine (Section 5 of the paper).
+//!
+//! The four phases run on the globally-known schedule of
+//! [`CogCompConfig`]:
+//!
+//! 1. **Phase one** — COGCAST floods `Init`, with every action recorded.
+//!    Each node's first reception fixes its parent and its
+//!    `(r, c)`-cluster (slot and channel of first reception).
+//! 2. **Phase two** (`n` slots) — every informed node beacons
+//!    `⟨id, r⟩` on its informing channel until its beacon wins the
+//!    channel, then keeps listening. Afterwards every node knows its
+//!    cluster's size, and the smallest-id node of the *latest* cluster
+//!    on each channel knows it is that channel's mediator (Lemma 7).
+//! 3. **Phase three** (`l` slots) — phase one replayed backwards: in the
+//!    rewind of slot `r`, the nodes first informed at `r` broadcast their
+//!    cluster size while their informer listens; silence tells a
+//!    would-be informer that its success informed nobody (Lemma 9).
+//! 4. **Phase four** — 3-slot steps (mediator announce → cluster value →
+//!    receiver ack) until all values have climbed the tree (Theorem 10).
+
+use super::config::{CogCompConfig, PhaseAt};
+use super::msg::CogCompMsg;
+use crate::aggregate::Aggregate;
+use crate::cogcast::{Informed, SlotRecord};
+use crn_sim::{Action, Event, LocalChannel, NodeCtx, NodeId, Protocol};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The role a node holds for the duration of one phase-four step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepRole {
+    /// Collecting values from the current cluster it informed.
+    Receiver,
+    /// Waiting to pass its folded value to its parent.
+    Sender,
+    /// Channel mediator (active once its own collection is finished);
+    /// also sends its own value when its cluster is announced.
+    Mediator,
+    /// Terminated (or never informed).
+    Idle,
+}
+
+/// A cluster this node informed, discovered during phase three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClusterRef {
+    /// The phase-one slot the cluster was informed in.
+    r: u64,
+    /// This node's local label for the cluster's channel.
+    channel: LocalChannel,
+    /// Number of nodes in the cluster.
+    size: u32,
+}
+
+/// Mediator bookkeeping for one channel.
+#[derive(Debug, Clone)]
+struct MediatorState {
+    /// The mediator's local label for its channel.
+    channel: LocalChannel,
+    /// `(r, size)` of every cluster informed on the channel, in
+    /// descending `r` (the processing order).
+    clusters: Vec<(u64, u32)>,
+    /// Index of the cluster currently being aggregated.
+    idx: usize,
+    /// Senders of the current cluster already acknowledged.
+    acked: BTreeSet<NodeId>,
+}
+
+/// The COGCOMP protocol instance for one node.
+///
+/// Construct the source with [`CogComp::source`] and all other nodes
+/// with [`CogComp::node`], hand the instances to a
+/// [`crn_sim::Network`] carrying
+/// [`CogCompMsg<V>`] messages, and run until
+/// [`Protocol::is_done`] holds everywhere (see
+/// [`super::run_aggregation`] for a one-call driver).
+#[derive(Debug, Clone)]
+pub struct CogComp<V> {
+    cfg: CogCompConfig,
+    is_source: bool,
+    /// Per-round own values (length `cfg.rounds`).
+    values: Vec<V>,
+    /// Own value merged with every descendant value collected so far
+    /// (current round).
+    acc: V,
+    /// The phase-four round currently executing.
+    round: u64,
+    /// True once the current round's duties are finished.
+    round_done: bool,
+    /// Source only: per finalized round, the aggregate (or `None` if
+    /// the round missed its window).
+    results: Vec<Option<V>>,
+    // --- phase one ---
+    informed: Option<Informed>,
+    p1_records: Vec<SlotRecord>,
+    pending_channel: LocalChannel,
+    // --- phase two ---
+    phase2_ready: bool,
+    census_sent: bool,
+    /// All censuses heard on this node's informing channel: `r` → ids.
+    channel_census: BTreeMap<u64, BTreeSet<NodeId>>,
+    // --- phase three ---
+    phase3_ready: bool,
+    cluster_size: u32,
+    mediator: Option<MediatorState>,
+    rewind_slot: Option<u64>,
+    informer_clusters: Vec<ClusterRef>,
+    // --- phase four ---
+    phase4_ready: bool,
+    step_role: StepRole,
+    collect_idx: usize,
+    collected: BTreeSet<NodeId>,
+    pending_ack: Option<NodeId>,
+    delivered_mine: bool,
+    heard_announce: Option<u64>,
+    done: bool,
+    failed: bool,
+}
+
+impl<V: Aggregate> CogComp<V> {
+    fn new(cfg: CogCompConfig, values: Vec<V>, is_source: bool) -> Self {
+        assert_eq!(
+            values.len(),
+            cfg.rounds as usize,
+            "need one value per round ({} values for {} rounds)",
+            values.len(),
+            cfg.rounds
+        );
+        let acc = values[0].clone();
+        CogComp {
+            cfg,
+            is_source,
+            values,
+            round: 0,
+            round_done: false,
+            results: Vec::new(),
+            acc,
+            informed: None,
+            p1_records: Vec::with_capacity(cfg.phase1_slots as usize),
+            pending_channel: LocalChannel(0),
+            phase2_ready: false,
+            census_sent: false,
+            channel_census: BTreeMap::new(),
+            phase3_ready: false,
+            cluster_size: 1,
+            mediator: None,
+            rewind_slot: None,
+            informer_clusters: Vec::new(),
+            phase4_ready: false,
+            step_role: StepRole::Idle,
+            collect_idx: 0,
+            collected: BTreeSet::new(),
+            pending_ack: None,
+            delivered_mine: false,
+            heard_announce: None,
+            done: false,
+            failed: false,
+        }
+    }
+
+    /// Creates the designated source (tree root) holding `value` (the
+    /// same value in every round when `cfg.rounds > 1`).
+    pub fn source(cfg: CogCompConfig, value: V) -> Self {
+        Self::new(cfg, vec![value; cfg.rounds as usize], true)
+    }
+
+    /// Creates a non-source node holding `value` (repeated per round).
+    pub fn node(cfg: CogCompConfig, value: V) -> Self {
+        Self::new(cfg, vec![value; cfg.rounds as usize], false)
+    }
+
+    /// Creates the source with one value per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values.len() == cfg.rounds`.
+    pub fn source_with_values(cfg: CogCompConfig, values: Vec<V>) -> Self {
+        Self::new(cfg, values, true)
+    }
+
+    /// Creates a non-source node with one value per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values.len() == cfg.rounds`.
+    pub fn node_with_values(cfg: CogCompConfig, values: Vec<V>) -> Self {
+        Self::new(cfg, values, false)
+    }
+
+    /// The configuration this node runs under.
+    pub fn config(&self) -> &CogCompConfig {
+        &self.cfg
+    }
+
+    /// True for the designated source.
+    pub fn is_source(&self) -> bool {
+        self.is_source
+    }
+
+    /// True once the node knows the `Init` message (always true for the
+    /// source).
+    pub fn knows_init(&self) -> bool {
+        self.is_source || self.informed.is_some()
+    }
+
+    /// How this node was first informed (its tree position), if it was.
+    pub fn informed(&self) -> Option<Informed> {
+        self.informed
+    }
+
+    /// The aggregated value: own value merged with every collected
+    /// descendant. On the source after termination this is the network
+    /// aggregate; [`CogComp::result`] gates on that.
+    pub fn aggregate(&self) -> &V {
+        &self.acc
+    }
+
+    /// The final aggregate — `Some` only on the source after it has
+    /// terminated (for multi-round configs: the last round's result).
+    pub fn result(&self) -> Option<&V> {
+        (self.is_source && self.done && !self.failed).then_some(&self.acc)
+    }
+
+    /// Source only: one entry per finalized round — the round's
+    /// aggregate, or `None` if the round missed its step window.
+    pub fn round_results(&self) -> &[Option<V>] {
+        &self.results
+    }
+
+    /// The phase-four round currently executing (0-based).
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// The size of this node's cluster as counted in phase two
+    /// (including itself; 1 until phase two runs).
+    pub fn cluster_size(&self) -> u32 {
+        self.cluster_size
+    }
+
+    /// True if this node was elected mediator of its channel.
+    pub fn is_mediator(&self) -> bool {
+        self.mediator.is_some()
+    }
+
+    /// Number of (non-empty) clusters this node informed.
+    pub fn informer_cluster_count(&self) -> usize {
+        self.informer_clusters.len()
+    }
+
+    /// True if the node reached phase four without ever hearing `Init`
+    /// (a low-probability COGCAST failure; the node then abstains).
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    // ------------------------------------------------------------------
+    // Phase one: COGCAST with recording.
+    // ------------------------------------------------------------------
+
+    fn decide_phase1(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<CogCompMsg<V>> {
+        // Keep the record slot-aligned across missed slots (fault
+        // windows suppress decide; the rewind indexes by absolute
+        // phase-one slot).
+        while (self.p1_records.len() as u64) < ctx.slot {
+            self.p1_records.push(SlotRecord::Idle);
+        }
+        let ch = LocalChannel(rng.gen_range(0..ctx.c as u32));
+        self.pending_channel = ch;
+        if self.knows_init() {
+            Action::Broadcast(ch, CogCompMsg::Init)
+        } else {
+            Action::Listen(ch)
+        }
+    }
+
+    fn observe_phase1(&mut self, ctx: &NodeCtx<'_>, event: Event<CogCompMsg<V>>) {
+        let ch = self.pending_channel;
+        let record = match event {
+            Event::Received { from, .. } => {
+                let first = !self.knows_init();
+                if first {
+                    self.informed = Some(Informed {
+                        from,
+                        slot: ctx.slot,
+                        channel: ch,
+                    });
+                }
+                SlotRecord::Listen {
+                    channel: ch,
+                    informed: first,
+                }
+            }
+            Event::Delivered => SlotRecord::Broadcast {
+                channel: ch,
+                delivered: true,
+            },
+            Event::Lost { .. } => SlotRecord::Broadcast {
+                channel: ch,
+                delivered: false,
+            },
+            Event::Silence | Event::Jammed => {
+                if self.knows_init() {
+                    SlotRecord::Broadcast {
+                        channel: ch,
+                        delivered: false,
+                    }
+                } else {
+                    SlotRecord::Listen {
+                        channel: ch,
+                        informed: false,
+                    }
+                }
+            }
+        };
+        self.p1_records.push(record);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase two: cluster census and mediator election.
+    // ------------------------------------------------------------------
+
+    fn decide_phase2(&mut self, ctx: &NodeCtx<'_>) -> Action<CogCompMsg<V>> {
+        if !self.phase2_ready {
+            self.phase2_ready = true;
+            if let Some(info) = self.informed {
+                // Count ourselves (the paper's "counter initially set to
+                // one").
+                self.channel_census
+                    .entry(info.slot)
+                    .or_default()
+                    .insert(ctx.id);
+            }
+        }
+        let Some(info) = self.informed else {
+            // The source (and any failed node) sits phase two out.
+            return Action::Sleep;
+        };
+        if self.census_sent {
+            Action::Listen(info.channel)
+        } else {
+            Action::Broadcast(
+                info.channel,
+                CogCompMsg::Census {
+                    id: ctx.id,
+                    r: info.slot,
+                },
+            )
+        }
+    }
+
+    fn observe_phase2(&mut self, event: Event<CogCompMsg<V>>) {
+        match event {
+            Event::Delivered => self.census_sent = true,
+            Event::Lost {
+                msg: CogCompMsg::Census { id, r },
+                ..
+            }
+            | Event::Received {
+                msg: CogCompMsg::Census { id, r },
+                ..
+            } => {
+                self.channel_census.entry(r).or_default().insert(id);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase three: the rewind.
+    // ------------------------------------------------------------------
+
+    fn prepare_phase3(&mut self, ctx: &NodeCtx<'_>) {
+        self.phase3_ready = true;
+        // Pad the phase-one record to its full length in case the node
+        // was down at the end of phase one.
+        while (self.p1_records.len() as u64) < self.cfg.phase1_slots {
+            self.p1_records.push(SlotRecord::Idle);
+        }
+        let Some(info) = self.informed else {
+            return;
+        };
+        self.cluster_size = self
+            .channel_census
+            .get(&info.slot)
+            .map(|s| s.len() as u32)
+            .unwrap_or(1);
+        if self.cfg.coordination == super::Coordination::Uncoordinated {
+            // Ablation: no mediators are elected; phase four runs with
+            // free contention among ready senders.
+            return;
+        }
+        // Mediator: smallest id in the latest cluster on the channel.
+        if let Some((_, members)) = self.channel_census.iter().next_back() {
+            if members.iter().next() == Some(&ctx.id) {
+                let clusters = self
+                    .channel_census
+                    .iter()
+                    .rev()
+                    .map(|(&r, m)| (r, m.len() as u32))
+                    .collect();
+                self.mediator = Some(MediatorState {
+                    channel: info.channel,
+                    clusters,
+                    idx: 0,
+                    acked: BTreeSet::new(),
+                });
+            }
+        }
+    }
+
+    fn decide_phase3(&mut self, ctx: &NodeCtx<'_>, offset: u64) -> Action<CogCompMsg<V>> {
+        if !self.phase3_ready {
+            self.prepare_phase3(ctx);
+        }
+        let l = self.cfg.phase1_slots;
+        let j = l - 1 - offset; // the phase-one slot being rewound
+        self.rewind_slot = Some(j);
+        let Some(&record) = self.p1_records.get(j as usize) else {
+            return Action::Sleep;
+        };
+        match record {
+            SlotRecord::Broadcast {
+                channel,
+                delivered: true,
+            } => Action::Listen(channel),
+            SlotRecord::Listen {
+                channel,
+                informed: true,
+            } => Action::Broadcast(
+                channel,
+                CogCompMsg::ClusterSize {
+                    r: j,
+                    size: self.cluster_size,
+                },
+            ),
+            _ => Action::Sleep,
+        }
+    }
+
+    fn observe_phase3(&mut self, event: Event<CogCompMsg<V>>) {
+        if let Event::Received {
+            msg: CogCompMsg::ClusterSize { r, size },
+            ..
+        } = event
+        {
+            let j = self
+                .rewind_slot
+                .expect("observe without a preceding decide");
+            debug_assert_eq!(r, j, "cluster-size echo must match the rewind slot");
+            let channel = self.p1_records[j as usize]
+                .channel()
+                .expect("a ClusterSize reception implies we listened on a channel");
+            self.informer_clusters.push(ClusterRef {
+                r: j,
+                channel,
+                size,
+            });
+        }
+        // Silence on a rewound success = the cluster is empty: nothing
+        // to record. Delivered/Lost are the cluster members' own
+        // broadcasts and carry no new information.
+    }
+
+    // ------------------------------------------------------------------
+    // Phase four: mediated aggregation in 3-slot steps.
+    // ------------------------------------------------------------------
+
+    /// Finalizes the current round's result on the source (at most
+    /// once per round).
+    fn finalize_round(&mut self) {
+        if self.is_source && (self.results.len() as u64) == self.round {
+            let result = self.round_done.then(|| self.acc.clone());
+            self.results.push(result);
+        }
+    }
+
+    /// Marks the current round finished; on the last round this
+    /// terminates the node.
+    fn mark_round_done(&mut self) {
+        self.round_done = true;
+        if self.round + 1 >= u64::from(self.cfg.rounds) {
+            self.done = true;
+            self.finalize_round();
+        }
+    }
+
+    /// Resets phase-four state for round `to`, loading that round's
+    /// own value. The tree structure (informer clusters, mediator
+    /// cluster lists) is reused — that is the amortization.
+    fn advance_round(&mut self, to: u64) {
+        self.finalize_round();
+        self.round = to;
+        let idx = (to as usize).min(self.values.len() - 1);
+        self.acc = self.values[idx].clone();
+        self.collect_idx = 0;
+        self.collected.clear();
+        self.pending_ack = None;
+        self.delivered_mine = false;
+        self.heard_announce = None;
+        self.round_done = false;
+        if let Some(med) = &mut self.mediator {
+            med.idx = 0;
+            med.acked.clear();
+        }
+    }
+
+    fn compute_role(&mut self) -> StepRole {
+        if self.done || self.round_done {
+            return StepRole::Idle;
+        }
+        if self.collect_idx < self.informer_clusters.len() {
+            return StepRole::Receiver;
+        }
+        if self.is_source {
+            self.mark_round_done();
+            return StepRole::Idle;
+        }
+        if let Some(med) = &self.mediator {
+            if med.idx < med.clusters.len() {
+                return StepRole::Mediator;
+            }
+        }
+        if !self.delivered_mine {
+            return StepRole::Sender;
+        }
+        self.mark_round_done();
+        StepRole::Idle
+    }
+
+    fn decide_phase4(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        step: u64,
+        sub: u8,
+    ) -> Action<CogCompMsg<V>> {
+        if !self.phase4_ready {
+            self.phase4_ready = true;
+            // Collect clusters in descending informed-slot order
+            // (children of later slots aggregate first).
+            self.informer_clusters
+                .sort_by_key(|cl| std::cmp::Reverse(cl.r));
+            if !self.knows_init() {
+                self.failed = true;
+                self.done = true;
+            }
+        }
+        // Round boundaries are derived from the globally known step
+        // count, so all nodes switch rounds in the same slot.
+        let target_round =
+            (step / self.cfg.round_steps()).min(u64::from(self.cfg.rounds) - 1);
+        if target_round > self.round && !self.done {
+            self.advance_round(target_round);
+        }
+        if sub == 0 {
+            self.heard_announce = None;
+            self.pending_ack = None;
+            self.step_role = self.compute_role();
+        }
+        match self.step_role {
+            StepRole::Idle => Action::Sleep,
+            StepRole::Receiver => {
+                let cl = self.informer_clusters[self.collect_idx];
+                match sub {
+                    0 | 1 => Action::Listen(cl.channel),
+                    _ => match self.pending_ack {
+                        Some(id) => Action::Broadcast(cl.channel, CogCompMsg::Ack { id }),
+                        None => Action::Listen(cl.channel),
+                    },
+                }
+            }
+            StepRole::Sender => {
+                let info = self.informed.expect("a sender was informed");
+                let may_send = match self.cfg.coordination {
+                    super::Coordination::Mediated => {
+                        self.heard_announce == Some(info.slot)
+                    }
+                    super::Coordination::Uncoordinated => true,
+                };
+                match sub {
+                    1 if may_send && !self.delivered_mine => {
+                        Action::Broadcast(
+                            info.channel,
+                            CogCompMsg::Value {
+                                id: ctx.id,
+                                r: info.slot,
+                                agg: self.acc.clone(),
+                            },
+                        )
+                    }
+                    _ => Action::Listen(info.channel),
+                }
+            }
+            StepRole::Mediator => {
+                let med = self.mediator.as_ref().expect("mediator role without state");
+                let channel = med.channel;
+                let current_r = med.clusters[med.idx].0;
+                match sub {
+                    0 => Action::Broadcast(channel, CogCompMsg::Announce { r: current_r }),
+                    1 => {
+                        let info = self.informed.expect("a mediator was informed");
+                        if current_r == info.slot && !self.delivered_mine {
+                            Action::Broadcast(
+                                channel,
+                                CogCompMsg::Value {
+                                    id: ctx.id,
+                                    r: info.slot,
+                                    agg: self.acc.clone(),
+                                },
+                            )
+                        } else {
+                            Action::Listen(channel)
+                        }
+                    }
+                    _ => Action::Listen(channel),
+                }
+            }
+        }
+    }
+
+    fn observe_phase4(&mut self, ctx: &NodeCtx<'_>, sub: u8, event: Event<CogCompMsg<V>>) {
+        match (self.step_role, sub) {
+            (StepRole::Sender, 0) => {
+                if let Event::Received {
+                    msg: CogCompMsg::Announce { r },
+                    ..
+                } = event
+                {
+                    self.heard_announce = Some(r);
+                }
+            }
+            (StepRole::Receiver, 1) => {
+                if let Event::Received {
+                    msg: CogCompMsg::Value { id, r, agg },
+                    ..
+                } = event
+                {
+                    let cl = self.informer_clusters[self.collect_idx];
+                    if r == cl.r {
+                        if self.collected.insert(id) {
+                            self.acc.merge(&agg);
+                        }
+                        self.pending_ack = Some(id);
+                    }
+                }
+            }
+            (StepRole::Receiver, 2) => {
+                // Our ack (if any) has gone out; check cluster completion.
+                let cl = self.informer_clusters[self.collect_idx];
+                if self.collected.len() as u32 >= cl.size {
+                    self.collect_idx += 1;
+                    self.collected.clear();
+                }
+            }
+            (StepRole::Sender, 2) => {
+                if let Event::Received {
+                    msg: CogCompMsg::Ack { id },
+                    ..
+                } = event
+                {
+                    if id == ctx.id {
+                        self.delivered_mine = true;
+                    }
+                }
+            }
+            (StepRole::Mediator, 2) => {
+                if let Event::Received {
+                    msg: CogCompMsg::Ack { id },
+                    ..
+                } = event
+                {
+                    if id == ctx.id {
+                        self.delivered_mine = true;
+                    }
+                    let med = self.mediator.as_mut().expect("mediator role without state");
+                    med.acked.insert(id);
+                    if med.acked.len() as u32 >= med.clusters[med.idx].1 {
+                        med.idx += 1;
+                        med.acked.clear();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<V: Aggregate> Protocol<CogCompMsg<V>> for CogComp<V> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<CogCompMsg<V>> {
+        match self.cfg.phase_at(ctx.slot) {
+            PhaseAt::One(_) => self.decide_phase1(ctx, rng),
+            PhaseAt::Two(_) => self.decide_phase2(ctx),
+            PhaseAt::Three(offset) => self.decide_phase3(ctx, offset),
+            PhaseAt::Four { step, sub } => self.decide_phase4(ctx, step, sub),
+        }
+    }
+
+    fn observe(&mut self, ctx: &NodeCtx<'_>, event: Event<CogCompMsg<V>>) {
+        match self.cfg.phase_at(ctx.slot) {
+            PhaseAt::One(_) => self.observe_phase1(ctx, event),
+            PhaseAt::Two(_) => self.observe_phase2(event),
+            PhaseAt::Three(_) => self.observe_phase3(event),
+            PhaseAt::Four { sub, .. } => self.observe_phase4(ctx, sub, event),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}

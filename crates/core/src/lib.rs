@@ -1,0 +1,63 @@
+//! # crn-core — COGCAST and COGCOMP
+//!
+//! The primary contribution of *Efficient Communication in Cognitive
+//! Radio Networks* (Gilbert, Kuhn, Newport, Zheng; PODC 2015):
+//!
+//! - [`cogcast`] — the epidemic local-broadcast protocol of Section 4,
+//!   completing in `O((c/k)·max{1, c/n}·lg n)` slots w.h.p. (Theorem 4);
+//! - [`cogcomp`] — the four-phase data-aggregation protocol of
+//!   Section 5, completing in `O((c/k)·max{1, c/n}·lg n + n)` slots
+//!   w.h.p. (Theorem 10);
+//! - [`tree`] — the distribution tree COGCAST implicitly builds and
+//!   COGCOMP aggregates along (Lemma 5);
+//! - [`aggregate`] — associative aggregation values (min/max/sum/count,
+//!   plus exact-collection helpers for testing);
+//! - [`bounds`] — the theorem bounds as concrete slot budgets.
+//!
+//! Protocols run on the [`crn_sim`] substrate, which implements the
+//! paper's Section 2 model (local channel labels, randomized collision
+//! resolution with feedback).
+//!
+//! ## Broadcast in five lines
+//!
+//! ```
+//! use crn_core::{bounds, cogcast::run_broadcast_default};
+//! use crn_sim::{assignment::shared_core, channel_model::StaticChannels};
+//!
+//! let model = StaticChannels::local(shared_core(32, 8, 2)?, 42);
+//! let run = run_broadcast_default(model, 42, bounds::DEFAULT_ALPHA)?;
+//! assert!(run.completed());
+//! # Ok::<(), crn_sim::SimError>(())
+//! ```
+//!
+//! ## Aggregation in five lines
+//!
+//! ```
+//! use crn_core::aggregate::Max;
+//! use crn_core::cogcomp::run_aggregation_default;
+//! use crn_sim::{assignment::shared_core, channel_model::StaticChannels};
+//!
+//! let model = StaticChannels::local(shared_core(10, 4, 2)?, 1);
+//! let readings: Vec<Max> = (0..10).map(|i| Max(i * 3)).collect();
+//! let run = run_aggregation_default(model, readings, 1)?;
+//! assert_eq!(run.result, Some(Max(27)));
+//! # Ok::<(), crn_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod analysis;
+pub mod bounds;
+pub mod cogcast;
+pub mod cogcomp;
+pub mod tree;
+
+pub use aggregate::Aggregate;
+pub use cogcast::{BroadcastRun, CogCast};
+pub use cogcomp::{
+    AggregationRun, CogComp, CogCompConfig, CogCompMsg, ConfirmedBroadcast, Coordination,
+    RepeatedAggregationRun,
+};
+pub use tree::{DistributionTree, TreeError};

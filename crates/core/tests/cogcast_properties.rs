@@ -1,0 +1,84 @@
+//! Property-based end-to-end verification of COGCAST: for arbitrary
+//! model shapes, patterns, label models and seeds, broadcast completes
+//! within the Theorem 4 budget and the informed-by pointers always
+//! form a valid distribution tree.
+
+use crn_core::bounds;
+use crn_core::cogcast::{run_broadcast, CogCast};
+use crn_core::tree::DistributionTree;
+use crn_sim::assignment::OverlapPattern;
+use crn_sim::channel_model::StaticChannels;
+use crn_sim::Network;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pattern_strategy() -> impl Strategy<Value = OverlapPattern> {
+    proptest::sample::select(OverlapPattern::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn cogcast_completes_within_budget(
+        n in 1usize..40,
+        c in 1usize..10,
+        k_off in 0usize..10,
+        pattern in pattern_strategy(),
+        global_labels: bool,
+        seed in 0u64..10_000,
+    ) {
+        let k = 1 + k_off % c;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0C0);
+        let assignment = pattern.generate(n, c, k, &mut rng).expect("valid shape");
+        let model = if global_labels {
+            StaticChannels::global(assignment)
+        } else {
+            StaticChannels::local(assignment, seed)
+        };
+        // "With high probability" is w.h.p. *in n*: at tiny n the
+        // guarantee is only constant-probability per alpha factor, so
+        // the property uses 4x the Theorem 4 budget to push the tail
+        // below proptest's resolution (e.g. n=2, c=k=3 misses the 1x
+        // budget with probability (2/3)^15 ≈ 0.2%).
+        let budget = 4 * bounds::cogcast_slots(n, c, k, bounds::DEFAULT_ALPHA);
+        let run = run_broadcast(model, seed, budget).expect("construct");
+        prop_assert!(
+            run.completed(),
+            "missed budget {budget}: n={n} c={c} k={k} pattern={} global={global_labels} seed={seed}",
+            pattern.name()
+        );
+        // The epidemic curve is monotone and ends at n.
+        for w in run.informed_per_slot.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(*run.informed_per_slot.last().expect("non-empty"), n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn informed_pointers_always_form_a_tree(
+        n in 2usize..32,
+        c in 2usize..8,
+        k_off in 0usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let k = 1 + k_off % c;
+        let assignment = crn_sim::assignment::shared_core(n, c, k).expect("valid");
+        let model = StaticChannels::local(assignment, seed);
+        let mut protos = vec![CogCast::source(0u8)];
+        protos.extend((1..n).map(|_| CogCast::node()));
+        let mut net = Network::new(model, protos, seed).expect("construct");
+        let outcome = net.run(10_000_000, |net| net.all_done());
+        prop_assert!(outcome.is_done());
+        let protos = net.into_protocols();
+        let tree = DistributionTree::from_cogcast(&protos).expect("valid tree");
+        prop_assert_eq!(tree.subtree_size(tree.root()), n);
+        prop_assert_eq!(
+            (0..n).map(|i| tree.children(crn_sim::NodeId(i as u32)).len()).sum::<usize>(),
+            n - 1
+        );
+    }
+}

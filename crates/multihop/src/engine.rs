@@ -1,0 +1,328 @@
+//! The multi-hop slot engine.
+//!
+//! Generalizes the paper's single-hop model (Section 2) to an arbitrary
+//! connectivity [`Topology`]: a transmission on channel `q` reaches
+//! only *neighbors* tuned to `q`. Collision resolution becomes
+//! receiver-centric — for each listener, one of its transmitting
+//! neighbors on the channel (uniformly random, independent per
+//! listener) gets through — which is the natural multi-hop reading of
+//! the paper's backoff abstraction. Transmitter-side feedback does not
+//! survive the generalization (a node cannot know which of its
+//! neighbors heard it), so transmitters always observe
+//! [`Event::Delivered`]; COGCAST never uses the feedback, so it runs
+//! unmodified.
+//!
+//! Protocols, actions, events and channel models are shared with
+//! [`crn_sim`] — any single-hop protocol written against
+//! [`crn_sim::Protocol`] runs here as-is.
+
+use crate::topology::Topology;
+use crn_sim::rng::{derive_rng, streams};
+use crn_sim::{Action, ChannelModel, Event, GlobalChannel, NodeCtx, NodeId, Protocol, SimError};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A simulated multi-hop cognitive radio network.
+///
+/// # Examples
+///
+/// ```
+/// use crn_core::cogcast::CogCast;
+/// use crn_multihop::{MultihopNetwork, Topology};
+/// use crn_sim::{assignment::shared_core, channel_model::StaticChannels};
+///
+/// let n = 6;
+/// let topo = Topology::line(n);
+/// let model = StaticChannels::local(shared_core(n, 4, 2)?, 3);
+/// let mut protos = vec![CogCast::source(())];
+/// protos.extend((1..n).map(|_| CogCast::node()));
+/// let mut net = MultihopNetwork::new(topo, model, protos, 3)?;
+/// let done = net.run(100_000, |net| net.protocols().iter().all(|p| p.is_informed()));
+/// assert!(done.is_some());
+/// # Ok::<(), crn_sim::SimError>(())
+/// ```
+#[allow(missing_debug_implementations)] // protocols are user types
+pub struct MultihopNetwork<M, P, CM> {
+    topology: Topology,
+    model: CM,
+    protocols: Vec<P>,
+    node_rngs: Vec<StdRng>,
+    engine_rng: StdRng,
+    slot: u64,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M, P, CM> MultihopNetwork<M, P, CM>
+where
+    M: Clone,
+    P: Protocol<M>,
+    CM: ChannelModel,
+{
+    /// Creates the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProtocolCountMismatch`] if the topology,
+    /// channel model and protocol count disagree on `n`.
+    pub fn new(
+        topology: Topology,
+        model: CM,
+        protocols: Vec<P>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if protocols.len() != model.n() || topology.len() != model.n() {
+            return Err(SimError::ProtocolCountMismatch {
+                nodes: model.n(),
+                protocols: protocols.len(),
+            });
+        }
+        let node_rngs = (0..model.n())
+            .map(|i| derive_rng(seed, streams::NODE_BASE + i as u64))
+            .collect();
+        Ok(MultihopNetwork {
+            topology,
+            model,
+            protocols,
+            node_rngs,
+            engine_rng: derive_rng(seed, streams::ENGINE),
+            slot: 0,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The connectivity topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The protocol instances, indexed by node.
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
+    }
+
+    /// Slots executed so far.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Executes one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a protocol selects a local channel `>= c`.
+    pub fn step(&mut self) {
+        let slot = self.slot;
+        let n = self.model.n();
+        let k = self.model.k();
+        let global_labels = self.model.labels_are_global();
+        self.model.advance(slot);
+
+        let mut actions: Vec<Action<M>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let c_i = self.model.c_of(i);
+            let ctx = NodeCtx {
+                id: NodeId(i as u32),
+                slot,
+                n,
+                c: c_i,
+                k,
+                channels: global_labels.then(|| self.model.channels(i)),
+            };
+            let action = self.protocols[i].decide(&ctx, &mut self.node_rngs[i]);
+            if let Some(ch) = action.channel() {
+                assert!(
+                    ch.index() < c_i,
+                    "protocol bug: node {i} chose local channel {ch} but c = {c_i}"
+                );
+            }
+            actions.push(action);
+        }
+
+        // Physical tuning per node.
+        let tuned: Vec<Option<(GlobalChannel, bool)>> = actions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                a.channel()
+                    .map(|local| (self.model.channels(i)[local.index()], a.is_broadcast()))
+            })
+            .collect();
+
+        // Receiver-centric resolution.
+        for i in 0..n {
+            let event: Event<M> = match &actions[i] {
+                Action::Sleep => continue,
+                Action::Broadcast(..) => Event::Delivered,
+                Action::Listen(_) => {
+                    let (my_channel, _) = tuned[i].expect("listener is tuned");
+                    let senders: Vec<usize> = self
+                        .topology
+                        .neighbors(i)
+                        .iter()
+                        .copied()
+                        .filter(|&j| tuned[j] == Some((my_channel, true)))
+                        .collect();
+                    if senders.is_empty() {
+                        Event::Silence
+                    } else {
+                        let w = senders[self.engine_rng.gen_range(0..senders.len())];
+                        let Action::Broadcast(_, msg) = &actions[w] else {
+                            unreachable!("sender filter guarantees a broadcast")
+                        };
+                        Event::Received {
+                            from: NodeId(w as u32),
+                            msg: msg.clone(),
+                        }
+                    }
+                }
+            };
+            let ctx = NodeCtx {
+                id: NodeId(i as u32),
+                slot,
+                n,
+                c: self.model.c_of(i),
+                k,
+                channels: global_labels.then(|| self.model.channels(i)),
+            };
+            self.protocols[i].observe(&ctx, event);
+        }
+        self.slot += 1;
+    }
+
+    /// Runs until `done` holds; returns the completing slot count, or
+    /// `None` when the budget is exhausted.
+    pub fn run(&mut self, budget: u64, mut done: impl FnMut(&Self) -> bool) -> Option<u64> {
+        for _ in 0..budget {
+            self.step();
+            if done(self) {
+                return Some(self.slot);
+            }
+        }
+        None
+    }
+
+    /// Consumes the network and returns its protocols.
+    pub fn into_protocols(self) -> Vec<P> {
+        self.protocols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_sim::assignment::full_overlap;
+    use crn_sim::channel_model::StaticChannels;
+    use crn_sim::LocalChannel;
+
+    struct Fixed {
+        action: Action<u8>,
+        heard: Vec<Event<u8>>,
+    }
+
+    impl Protocol<u8> for Fixed {
+        fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u8> {
+            self.action.clone()
+        }
+        fn observe(&mut self, _ctx: &NodeCtx<'_>, event: Event<u8>) {
+            self.heard.push(event);
+        }
+    }
+
+    fn fixed(action: Action<u8>) -> Fixed {
+        Fixed {
+            action,
+            heard: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn delivery_respects_the_topology() {
+        // Line 0-1-2: node 0 broadcasts; node 1 hears, node 2 does not.
+        let topo = Topology::line(3);
+        let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+        let protos = vec![
+            fixed(Action::Broadcast(LocalChannel(0), 9)),
+            fixed(Action::Listen(LocalChannel(0))),
+            fixed(Action::Listen(LocalChannel(0))),
+        ];
+        let mut net = MultihopNetwork::new(topo, model, protos, 1).unwrap();
+        net.step();
+        let p = net.into_protocols();
+        assert_eq!(
+            p[1].heard,
+            vec![Event::Received {
+                from: NodeId(0),
+                msg: 9
+            }]
+        );
+        assert_eq!(p[2].heard, vec![Event::Silence]);
+    }
+
+    #[test]
+    fn per_receiver_winners_are_independent() {
+        // Star-ish: 1 and 2 both broadcast; 0 neighbors both; over many
+        // slots node 0 hears each roughly half the time.
+        let topo = Topology::from_edges(3, &[(0, 1), (0, 2)]);
+        let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+        let protos = vec![
+            fixed(Action::Listen(LocalChannel(0))),
+            fixed(Action::Broadcast(LocalChannel(0), 1)),
+            fixed(Action::Broadcast(LocalChannel(0), 2)),
+        ];
+        let mut net = MultihopNetwork::new(topo, model, protos, 5).unwrap();
+        for _ in 0..2000 {
+            net.step();
+        }
+        let p = net.into_protocols();
+        let from1 = p[0]
+            .heard
+            .iter()
+            .filter(|e| matches!(e, Event::Received { from: NodeId(1), .. }))
+            .count();
+        assert!(
+            (700..=1300).contains(&from1),
+            "receiver-side winner skewed: {from1}/2000"
+        );
+    }
+
+    #[test]
+    fn different_channels_do_not_mix() {
+        let topo = Topology::complete(2);
+        let model = StaticChannels::global(full_overlap(2, 2).unwrap());
+        let protos = vec![
+            fixed(Action::Broadcast(LocalChannel(0), 3)),
+            fixed(Action::Listen(LocalChannel(1))),
+        ];
+        let mut net = MultihopNetwork::new(topo, model, protos, 2).unwrap();
+        net.step();
+        assert_eq!(net.into_protocols()[1].heard, vec![Event::Silence]);
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let topo = Topology::line(3);
+        let model = StaticChannels::global(full_overlap(2, 1).unwrap());
+        let protos = vec![fixed(Action::Sleep), fixed(Action::Sleep)];
+        assert!(MultihopNetwork::new(topo, model, protos, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| -> Vec<Event<u8>> {
+            let topo = Topology::from_edges(3, &[(0, 1), (0, 2)]);
+            let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+            let protos = vec![
+                fixed(Action::Listen(LocalChannel(0))),
+                fixed(Action::Broadcast(LocalChannel(0), 1)),
+                fixed(Action::Broadcast(LocalChannel(0), 2)),
+            ];
+            let mut net = MultihopNetwork::new(topo, model, protos, seed).unwrap();
+            for _ in 0..32 {
+                net.step();
+            }
+            net.into_protocols().remove(0).heard
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,37 @@
+//! # crn-multihop — the multi-hop generalization
+//!
+//! The paper's protocols are stated for a single-hop network; the
+//! broadcast-related work it discusses (Kondareddy–Agrawal's selective
+//! broadcasting, Song–Xie's hopping sequences) lives in *multi-hop*
+//! cognitive radio networks. This crate extends the substrate in that
+//! direction:
+//!
+//! - [`Topology`] — connectivity graphs (line, ring, grid, complete,
+//!   random unit-disk) with BFS distances and diameters;
+//! - [`MultihopNetwork`] — a slot engine with receiver-centric
+//!   collision resolution, sharing the [`crn_sim::Protocol`] trait so
+//!   single-hop protocols run unmodified;
+//! - [`run_flood`] — COGCAST as a flooding primitive: unchanged, it
+//!   crosses the network at a cost that scales with the diameter
+//!   (experiment F15).
+//!
+//! ```
+//! use crn_multihop::{run_flood, Topology};
+//! use crn_sim::{assignment::shared_core, channel_model::StaticChannels};
+//!
+//! let model = StaticChannels::local(shared_core(8, 4, 2)?, 1);
+//! let run = run_flood(Topology::ring(8), model, 1, 100_000)?;
+//! assert!(run.completed());
+//! # Ok::<(), crn_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod flood;
+pub mod topology;
+
+pub use engine::MultihopNetwork;
+pub use flood::{flood_budget, run_flood, FloodRun};
+pub use topology::Topology;

@@ -1,0 +1,840 @@
+//! The synchronous slot engine.
+//!
+//! [`Network`] drives `n` protocol state machines against a
+//! [`ChannelModel`], implementing the paper's Section 2 model exactly:
+//!
+//! 1. at the start of each slot every node picks an action (broadcast /
+//!    listen / sleep) on one of its `c` channels, addressed by local
+//!    label;
+//! 2. the engine translates local labels to global channels;
+//! 3. on each channel with at least one transmission, one transmission —
+//!    chosen uniformly at random — succeeds: all listeners on the channel
+//!    receive it, the winner learns it succeeded, and the losing
+//!    broadcasters both learn they failed *and* receive the winning
+//!    message;
+//! 4. every non-sleeping node observes the outcome.
+//!
+//! The engine is fully deterministic given its seed: per-node protocol
+//! RNGs, the contention-resolution RNG, and the interference RNG are all
+//! derived from the master seed on independent streams, and channels are
+//! resolved in sorted order so winner draws are reproducible.
+
+use crate::channel_model::ChannelModel;
+use crate::error::SimError;
+use crate::ids::{GlobalChannel, NodeId};
+use crate::interference::Interference;
+use crate::proto::{Action, Event, NodeCtx, Protocol};
+use crate::rng::{derive_rng, streams};
+use crate::trace::{ChannelActivity, SlotActivity};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The result of [`Network::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The predicate became true after the given number of slots had
+    /// executed (i.e. `slots` is the completion time in slots).
+    Done {
+        /// Slots executed when the predicate first held.
+        slots: u64,
+    },
+    /// The slot budget was exhausted before the predicate held.
+    Timeout {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl RunOutcome {
+    /// The completion time, or `None` on timeout.
+    ///
+    /// ```
+    /// use crn_sim::RunOutcome;
+    /// assert_eq!(RunOutcome::Done { slots: 10 }.slots(), Some(10));
+    /// assert_eq!(RunOutcome::Timeout { budget: 5 }.slots(), None);
+    /// ```
+    pub fn slots(self) -> Option<u64> {
+        match self {
+            RunOutcome::Done { slots } => Some(slots),
+            RunOutcome::Timeout { .. } => None,
+        }
+    }
+
+    /// True if the run completed within budget.
+    pub fn is_done(self) -> bool {
+        matches!(self, RunOutcome::Done { .. })
+    }
+}
+
+/// A consuming builder for [`Network`], convenient when protocols are
+/// assembled incrementally or interference is optional.
+///
+/// # Examples
+///
+/// ```
+/// use crn_sim::assignment::full_overlap;
+/// use crn_sim::channel_model::StaticChannels;
+/// use crn_sim::engine::NetworkBuilder;
+/// use crn_sim::{Action, Event, NodeCtx, Protocol};
+/// use rand::rngs::StdRng;
+///
+/// struct Quiet;
+/// impl Protocol<u8> for Quiet {
+///     fn decide(&mut self, _: &NodeCtx<'_>, _: &mut StdRng) -> Action<u8> { Action::Sleep }
+///     fn observe(&mut self, _: &NodeCtx<'_>, _: Event<u8>) {}
+/// }
+///
+/// let model = StaticChannels::global(full_overlap(2, 1)?);
+/// let mut net = NetworkBuilder::new(model)
+///     .seed(9)
+///     .protocol(Quiet)
+///     .protocol(Quiet)
+///     .build()?;
+/// net.step();
+/// assert_eq!(net.slot(), 1);
+/// # Ok::<(), crn_sim::SimError>(())
+/// ```
+#[allow(missing_debug_implementations)] // protocols and interference are user types
+pub struct NetworkBuilder<M, P, CM> {
+    model: CM,
+    protocols: Vec<P>,
+    seed: u64,
+    interference: Option<Box<dyn Interference>>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M, P, CM> NetworkBuilder<M, P, CM>
+where
+    M: Clone,
+    P: Protocol<M>,
+    CM: ChannelModel,
+{
+    /// Starts a builder over `model` (seed 0, no protocols, no
+    /// interference).
+    pub fn new(model: CM) -> Self {
+        NetworkBuilder {
+            model,
+            protocols: Vec::new(),
+            seed: 0,
+            interference: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends one protocol instance (node ids follow insertion order).
+    #[must_use]
+    pub fn protocol(mut self, protocol: P) -> Self {
+        self.protocols.push(protocol);
+        self
+    }
+
+    /// Appends protocol instances in bulk.
+    #[must_use]
+    pub fn protocols(mut self, protocols: impl IntoIterator<Item = P>) -> Self {
+        self.protocols.extend(protocols);
+        self
+    }
+
+    /// Installs an interference model.
+    #[must_use]
+    pub fn interference(mut self, interference: Box<dyn Interference>) -> Self {
+        self.interference = Some(interference);
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProtocolCountMismatch`] if the number of
+    /// protocols differs from the model's node count.
+    pub fn build(self) -> Result<Network<M, P, CM>, SimError> {
+        Network::build(self.model, self.protocols, self.seed, self.interference)
+    }
+}
+
+/// A simulated single-hop cognitive radio network.
+///
+/// Generic over the message type `M`, the per-node protocol `P`, and the
+/// channel model `CM`.
+///
+/// # Examples
+///
+/// ```
+/// use crn_sim::assignment::full_overlap;
+/// use crn_sim::channel_model::StaticChannels;
+/// use crn_sim::{Action, Event, LocalChannel, Network, NodeCtx, Protocol};
+/// use rand::rngs::StdRng;
+///
+/// /// Node 0 shouts; everyone else listens on the only channel.
+/// struct Shout(bool);
+/// impl Protocol<u32> for Shout {
+///     fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u32> {
+///         if ctx.id.index() == 0 {
+///             Action::Broadcast(LocalChannel(0), 42)
+///         } else {
+///             Action::Listen(LocalChannel(0))
+///         }
+///     }
+///     fn observe(&mut self, _ctx: &NodeCtx<'_>, event: Event<u32>) {
+///         if matches!(event, Event::Received { msg: 42, .. }) {
+///             self.0 = true;
+///         }
+///     }
+///     fn is_done(&self) -> bool { self.0 }
+/// }
+///
+/// let model = StaticChannels::global(full_overlap(3, 1)?);
+/// let mut net = Network::new(model, vec![Shout(false), Shout(false), Shout(false)], 7)?;
+/// net.step();
+/// assert!(net.protocols()[1].is_done());
+/// assert!(net.protocols()[2].is_done());
+/// # Ok::<(), crn_sim::SimError>(())
+/// ```
+#[allow(missing_debug_implementations)] // protocols and interference are user types
+pub struct Network<M, P, CM> {
+    model: CM,
+    protocols: Vec<P>,
+    node_rngs: Vec<StdRng>,
+    engine_rng: StdRng,
+    jam_rng: StdRng,
+    interference: Option<Box<dyn Interference>>,
+    slot: u64,
+    activity: SlotActivity,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M, P, CM> Network<M, P, CM>
+where
+    M: Clone,
+    P: Protocol<M>,
+    CM: ChannelModel,
+{
+    /// Creates a network with no interference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProtocolCountMismatch`] if `protocols.len()`
+    /// differs from the model's node count.
+    pub fn new(model: CM, protocols: Vec<P>, seed: u64) -> Result<Self, SimError> {
+        Self::build(model, protocols, seed, None)
+    }
+
+    /// Creates a network subject to an [`Interference`] model (used by
+    /// the jamming experiments of Theorem 18).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProtocolCountMismatch`] if `protocols.len()`
+    /// differs from the model's node count.
+    pub fn with_interference(
+        model: CM,
+        protocols: Vec<P>,
+        seed: u64,
+        interference: Box<dyn Interference>,
+    ) -> Result<Self, SimError> {
+        Self::build(model, protocols, seed, Some(interference))
+    }
+
+    fn build(
+        model: CM,
+        protocols: Vec<P>,
+        seed: u64,
+        interference: Option<Box<dyn Interference>>,
+    ) -> Result<Self, SimError> {
+        if protocols.len() != model.n() {
+            return Err(SimError::ProtocolCountMismatch {
+                nodes: model.n(),
+                protocols: protocols.len(),
+            });
+        }
+        let node_rngs = (0..model.n())
+            .map(|i| derive_rng(seed, streams::NODE_BASE + i as u64))
+            .collect();
+        Ok(Network {
+            model,
+            protocols,
+            node_rngs,
+            engine_rng: derive_rng(seed, streams::ENGINE),
+            jam_rng: derive_rng(seed, streams::JAMMER),
+            interference,
+            slot: 0,
+            activity: SlotActivity::default(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The current slot (number of slots executed so far).
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The channel model.
+    pub fn model(&self) -> &CM {
+        &self.model
+    }
+
+    /// The protocol instances, indexed by node.
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
+    }
+
+    /// Mutable access to the protocol instances (e.g. to inject values
+    /// between protocol phases in tests).
+    pub fn protocols_mut(&mut self) -> &mut [P] {
+        &mut self.protocols
+    }
+
+    /// The activity record of the most recently executed slot.
+    pub fn last_activity(&self) -> &SlotActivity {
+        &self.activity
+    }
+
+    /// True once every protocol reports [`Protocol::is_done`].
+    pub fn all_done(&self) -> bool {
+        self.protocols.iter().all(|p| p.is_done())
+    }
+
+    /// Executes one slot and returns its activity record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a protocol selects a local channel `>= c` — that is a
+    /// protocol bug, not a recoverable condition.
+    pub fn step(&mut self) -> &SlotActivity {
+        let slot = self.slot;
+        let n = self.model.n();
+        let k = self.model.k();
+        let global_labels = self.model.labels_are_global();
+
+        self.model.advance(slot);
+        if let Some(intf) = self.interference.as_mut() {
+            intf.advance(slot, &mut self.jam_rng);
+        }
+
+        // Phase A: collect decisions.
+        let mut actions: Vec<Action<M>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let c_i = self.model.c_of(i);
+            let ctx = NodeCtx {
+                id: NodeId(i as u32),
+                slot,
+                n,
+                c: c_i,
+                k,
+                channels: if global_labels {
+                    Some(self.model.channels(i))
+                } else {
+                    None
+                },
+            };
+            let action = self.protocols[i].decide(&ctx, &mut self.node_rngs[i]);
+            if let Some(ch) = action.channel() {
+                assert!(
+                    ch.index() < c_i,
+                    "protocol bug: node {i} chose local channel {ch} but c = {c_i}"
+                );
+            }
+            actions.push(action);
+        }
+
+        // Phase B: translate to global channels, show the committed
+        // intents to an adaptive adversary, apply interference, and
+        // group participants per channel (sorted for determinism).
+        let mut jammed_nodes: Vec<bool> = vec![false; n];
+        let mut sleepers = 0usize;
+        let mut jammed_count = 0usize;
+        let mut intents: Vec<crate::interference::Intent> = Vec::with_capacity(n);
+        for (i, action) in actions.iter().enumerate() {
+            let Some(local) = action.channel() else {
+                sleepers += 1;
+                continue;
+            };
+            intents.push(crate::interference::Intent {
+                node: NodeId(i as u32),
+                channel: self.model.channels(i)[local.index()],
+                broadcast: action.is_broadcast(),
+            });
+        }
+        if let Some(intf) = self.interference.as_mut() {
+            intf.observe_intents(slot, &intents);
+        }
+        // (channel, node, is_broadcast)
+        let mut tuned: Vec<(GlobalChannel, usize, bool)> = Vec::with_capacity(intents.len());
+        for intent in &intents {
+            let jammed = self
+                .interference
+                .as_ref()
+                .is_some_and(|intf| intf.is_jammed(intent.node, intent.channel));
+            if jammed {
+                jammed_nodes[intent.node.index()] = true;
+                jammed_count += 1;
+            } else {
+                tuned.push((intent.channel, intent.node.index(), intent.broadcast));
+            }
+        }
+        tuned.sort_unstable();
+
+        // Phase C: resolve contention channel by channel.
+        self.activity.slot = slot;
+        self.activity.channels.clear();
+        self.activity.sleepers = sleepers;
+        self.activity.jammed = jammed_count;
+        let mut winners: Vec<Option<usize>> = vec![None; n]; // per node: winning node on its channel
+        let mut start = 0;
+        while start < tuned.len() {
+            let channel = tuned[start].0;
+            let mut end = start;
+            while end < tuned.len() && tuned[end].0 == channel {
+                end += 1;
+            }
+            let group = &tuned[start..end];
+            let broadcasters: Vec<usize> =
+                group.iter().filter(|t| t.2).map(|t| t.1).collect();
+            let listeners: Vec<usize> =
+                group.iter().filter(|t| !t.2).map(|t| t.1).collect();
+            let winner = if broadcasters.is_empty() {
+                None
+            } else {
+                Some(broadcasters[self.engine_rng.gen_range(0..broadcasters.len())])
+            };
+            for &(_, node, _) in group {
+                winners[node] = winner;
+            }
+            self.activity.channels.push(ChannelActivity {
+                channel,
+                broadcasters: broadcasters.iter().map(|&i| NodeId(i as u32)).collect(),
+                winner: winner.map(|i| NodeId(i as u32)),
+                listeners: listeners.iter().map(|&i| NodeId(i as u32)).collect(),
+            });
+            start = end;
+        }
+
+        // Phase D: deliver observations.
+        for i in 0..n {
+            let event: Event<M> = if jammed_nodes[i] {
+                Event::Jammed
+            } else {
+                match &actions[i] {
+                    Action::Sleep => continue,
+                    Action::Broadcast(..) => match winners[i] {
+                        Some(w) if w == i => Event::Delivered,
+                        Some(w) => {
+                            let Action::Broadcast(_, msg) = &actions[w] else {
+                                unreachable!("winner must have broadcast")
+                            };
+                            Event::Lost {
+                                winner: NodeId(w as u32),
+                                msg: msg.clone(),
+                            }
+                        }
+                        None => unreachable!("a broadcaster's channel always has a winner"),
+                    },
+                    Action::Listen(_) => match winners[i] {
+                        Some(w) => {
+                            let Action::Broadcast(_, msg) = &actions[w] else {
+                                unreachable!("winner must have broadcast")
+                            };
+                            Event::Received {
+                                from: NodeId(w as u32),
+                                msg: msg.clone(),
+                            }
+                        }
+                        None => Event::Silence,
+                    },
+                }
+            };
+            let ctx = NodeCtx {
+                id: NodeId(i as u32),
+                slot,
+                n,
+                c: self.model.c_of(i),
+                k,
+                channels: if global_labels {
+                    Some(self.model.channels(i))
+                } else {
+                    None
+                },
+            };
+            self.protocols[i].observe(&ctx, event);
+        }
+
+        self.slot += 1;
+        &self.activity
+    }
+
+    /// Runs until `done` holds (checked after every slot) or the budget
+    /// is exhausted.
+    pub fn run(&mut self, budget: u64, mut done: impl FnMut(&Self) -> bool) -> RunOutcome {
+        for _ in 0..budget {
+            self.step();
+            if done(self) {
+                return RunOutcome::Done { slots: self.slot };
+            }
+        }
+        RunOutcome::Timeout { budget }
+    }
+
+    /// Runs exactly `slots` slots.
+    pub fn run_slots(&mut self, slots: u64) {
+        for _ in 0..slots {
+            self.step();
+        }
+    }
+
+    /// Runs until every protocol reports done, within the budget.
+    pub fn run_to_completion(&mut self, budget: u64) -> RunOutcome {
+        if self.all_done() {
+            return RunOutcome::Done { slots: self.slot };
+        }
+        self.run(budget, |net| net.all_done())
+    }
+
+    /// Consumes the network and returns its protocol instances.
+    pub fn into_protocols(self) -> Vec<P> {
+        self.protocols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{full_overlap, shared_core};
+    use crate::channel_model::StaticChannels;
+    use crate::ids::LocalChannel;
+
+    /// Test protocol: a fixed script of actions; records all events.
+    struct Scripted {
+        script: Vec<Action<u32>>,
+        events: Vec<Event<u32>>,
+        at: usize,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<Action<u32>>) -> Self {
+            Scripted {
+                script,
+                events: Vec::new(),
+                at: 0,
+            }
+        }
+    }
+
+    impl Protocol<u32> for Scripted {
+        fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u32> {
+            let a = self.script[self.at % self.script.len()].clone();
+            self.at += 1;
+            a
+        }
+        fn observe(&mut self, _ctx: &NodeCtx<'_>, event: Event<u32>) {
+            self.events.push(event);
+        }
+    }
+
+    fn one_channel_net(protos: Vec<Scripted>) -> Network<u32, Scripted, StaticChannels> {
+        let model = StaticChannels::global(full_overlap(protos.len(), 1).unwrap());
+        Network::new(model, protos, 1).unwrap()
+    }
+
+    #[test]
+    fn lone_broadcaster_succeeds_and_is_heard() {
+        let mut net = one_channel_net(vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 5)]),
+            Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+        ]);
+        net.step();
+        let p = net.protocols();
+        assert_eq!(p[0].events, vec![Event::Delivered]);
+        assert_eq!(
+            p[1].events,
+            vec![Event::Received {
+                from: NodeId(0),
+                msg: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn collision_has_one_winner_and_losers_overhear() {
+        let mut net = one_channel_net(vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 10)]),
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 20)]),
+            Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+        ]);
+        net.step();
+        let p = net.protocols();
+        let delivered: Vec<usize> = (0..2)
+            .filter(|&i| p[i].events == vec![Event::Delivered])
+            .collect();
+        assert_eq!(delivered.len(), 1, "exactly one winner");
+        let w = delivered[0];
+        let l = 1 - w;
+        let expected_msg = if w == 0 { 10 } else { 20 };
+        assert_eq!(
+            p[l].events,
+            vec![Event::Lost {
+                winner: NodeId(w as u32),
+                msg: expected_msg
+            }]
+        );
+        assert_eq!(
+            p[2].events,
+            vec![Event::Received {
+                from: NodeId(w as u32),
+                msg: expected_msg
+            }]
+        );
+    }
+
+    #[test]
+    fn listener_on_quiet_channel_hears_silence() {
+        let mut net = one_channel_net(vec![Scripted::new(vec![Action::Listen(LocalChannel(0))])]);
+        net.step();
+        assert_eq!(net.protocols()[0].events, vec![Event::Silence]);
+    }
+
+    #[test]
+    fn sleeper_observes_nothing() {
+        let mut net = one_channel_net(vec![Scripted::new(vec![Action::Sleep])]);
+        net.step();
+        assert!(net.protocols()[0].events.is_empty());
+        assert_eq!(net.last_activity().sleepers, 1);
+    }
+
+    #[test]
+    fn winner_choice_is_roughly_uniform() {
+        // Two persistent broadcasters on one channel: over many slots
+        // each should win about half the time.
+        let mut net = one_channel_net(vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 1)]),
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 2)]),
+        ]);
+        net.run_slots(2000);
+        let wins0 = net.protocols()[0]
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Delivered))
+            .count();
+        assert!(
+            (700..=1300).contains(&wins0),
+            "winner selection badly skewed: {wins0}/2000"
+        );
+    }
+
+    #[test]
+    fn separate_channels_do_not_interfere() {
+        // shared_core(2, 2, 1): core channel g0 + one private channel each.
+        let a = shared_core(2, 2, 1).unwrap();
+        let model = StaticChannels::global(a);
+        // Node 0 broadcasts on its private channel (local label 1);
+        // node 1 listens on its own private channel (also local label 1,
+        // but a *different* global channel).
+        let protos = vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(1), 9)]),
+            Scripted::new(vec![Action::Listen(LocalChannel(1))]),
+        ];
+        let mut net = Network::new(model, protos, 3).unwrap();
+        net.step();
+        let p = net.protocols();
+        assert_eq!(p[0].events, vec![Event::Delivered]);
+        assert_eq!(p[1].events, vec![Event::Silence]);
+    }
+
+    #[test]
+    fn shared_core_channel_connects_nodes() {
+        let a = shared_core(2, 2, 1).unwrap();
+        let model = StaticChannels::global(a);
+        let protos = vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 9)]),
+            Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+        ];
+        let mut net = Network::new(model, protos, 3).unwrap();
+        net.step();
+        assert_eq!(
+            net.protocols()[1].events,
+            vec![Event::Received {
+                from: NodeId(0),
+                msg: 9
+            }]
+        );
+    }
+
+    #[test]
+    fn protocol_count_mismatch_rejected() {
+        let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+        let protos = vec![Scripted::new(vec![Action::Sleep])];
+        assert!(matches!(
+            Network::new(model, protos, 0).err(),
+            Some(SimError::ProtocolCountMismatch {
+                nodes: 3,
+                protocols: 1
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol bug")]
+    fn out_of_range_local_channel_panics() {
+        let mut net = one_channel_net(vec![Scripted::new(vec![Action::Listen(LocalChannel(5))])]);
+        net.step();
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_same_seed() {
+        let run = |seed: u64| -> Vec<Vec<Event<u32>>> {
+            let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+            let protos = vec![
+                Scripted::new(vec![Action::Broadcast(LocalChannel(0), 1)]),
+                Scripted::new(vec![Action::Broadcast(LocalChannel(0), 2)]),
+                Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+            ];
+            let mut net = Network::new(model, protos, seed).unwrap();
+            net.run_slots(50);
+            net.into_protocols().into_iter().map(|p| p.events).collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn activity_record_matches_events() {
+        let mut net = one_channel_net(vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 10)]),
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 20)]),
+            Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+        ]);
+        let act = net.step().clone();
+        assert_eq!(act.transmissions(), 2);
+        assert_eq!(act.deliveries(), 1);
+        let ch = act.on_channel(GlobalChannel(0)).unwrap();
+        assert!(ch.had_collision());
+        assert_eq!(ch.listeners, vec![NodeId(2)]);
+        assert!(ch.winner.is_some());
+    }
+
+    #[test]
+    fn jammed_nodes_observe_jammed_and_do_not_participate() {
+        use crate::interference::{Intent, Interference};
+
+        /// Jams global channel 0 for node 1 only.
+        struct JamOneForOne;
+        impl Interference for JamOneForOne {
+            fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {}
+            fn is_jammed(&self, node: NodeId, channel: GlobalChannel) -> bool {
+                node == NodeId(1) && channel == GlobalChannel(0)
+            }
+        }
+
+        let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+        let protos = vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 7)]),
+            Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+            Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+        ];
+        let mut net =
+            Network::with_interference(model, protos, 1, Box::new(JamOneForOne)).unwrap();
+        let activity = net.step().clone();
+        assert_eq!(activity.jammed, 1);
+        let p = net.into_protocols();
+        assert_eq!(p[0].events, vec![Event::Delivered]);
+        assert_eq!(p[1].events, vec![Event::Jammed], "jammed listener hears noise");
+        assert_eq!(
+            p[2].events,
+            vec![Event::Received {
+                from: NodeId(0),
+                msg: 7
+            }],
+            "unjammed listener still receives"
+        );
+        // The jammed node is excluded from the channel's listener list.
+        let ch = activity.on_channel(GlobalChannel(0)).unwrap();
+        assert_eq!(ch.listeners, vec![NodeId(2)]);
+
+        // Adaptive hook sanity: intents carry the committed tunings.
+        struct CaptureIntents(std::sync::Arc<std::sync::Mutex<Vec<Intent>>>);
+        impl Interference for CaptureIntents {
+            fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {}
+            fn observe_intents(&mut self, _slot: u64, intents: &[Intent]) {
+                self.0.lock().unwrap().extend_from_slice(intents);
+            }
+            fn is_jammed(&self, _node: NodeId, _channel: GlobalChannel) -> bool {
+                false
+            }
+        }
+        let captured = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let model = StaticChannels::global(full_overlap(2, 1).unwrap());
+        let protos = vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 1)]),
+            Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+        ];
+        let mut net = Network::with_interference(
+            model,
+            protos,
+            2,
+            Box::new(CaptureIntents(captured.clone())),
+        )
+        .unwrap();
+        net.step();
+        let intents = captured.lock().unwrap().clone();
+        assert_eq!(intents.len(), 2);
+        assert!(intents[0].broadcast && !intents[1].broadcast);
+        assert_eq!(intents[0].channel, GlobalChannel(0));
+    }
+
+    #[test]
+    fn run_returns_done_with_slot_count() {
+        let mut net = one_channel_net(vec![
+            Scripted::new(vec![Action::Broadcast(LocalChannel(0), 5)]),
+            Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+        ]);
+        let outcome = net.run(10, |n| !n.protocols()[1].events.is_empty());
+        assert_eq!(outcome, RunOutcome::Done { slots: 1 });
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let build = |via_builder: bool| -> Vec<Event<u32>> {
+            let model = StaticChannels::global(full_overlap(2, 1).unwrap());
+            let protos = vec![
+                Scripted::new(vec![Action::Broadcast(LocalChannel(0), 5)]),
+                Scripted::new(vec![Action::Listen(LocalChannel(0))]),
+            ];
+            let mut net = if via_builder {
+                NetworkBuilder::new(model).seed(4).protocols(protos).build().unwrap()
+            } else {
+                Network::new(model, protos, 4).unwrap()
+            };
+            net.run_slots(8);
+            net.into_protocols().remove(1).events
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_protocol_count() {
+        let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+        let result = NetworkBuilder::<u32, Scripted, _>::new(model)
+            .protocol(Scripted::new(vec![Action::Sleep]))
+            .build();
+        assert!(matches!(
+            result.err(),
+            Some(SimError::ProtocolCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn run_times_out() {
+        let mut net = one_channel_net(vec![Scripted::new(vec![Action::Sleep])]);
+        let outcome = net.run(5, |_| false);
+        assert_eq!(outcome, RunOutcome::Timeout { budget: 5 });
+        assert_eq!(outcome.slots(), None);
+        assert!(!outcome.is_done());
+    }
+}

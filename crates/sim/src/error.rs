@@ -1,0 +1,114 @@
+//! Error types for network construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a simulator configuration violates the paper's model.
+///
+/// # Examples
+///
+/// ```
+/// use crn_sim::SimError;
+/// let err = SimError::InvalidParams {
+///     reason: "k must satisfy 1 <= k <= c".into(),
+/// };
+/// assert!(err.to_string().contains("k must satisfy"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The `(n, c, k, C)` parameters are inconsistent (e.g. `k > c` or
+    /// `c > C`).
+    InvalidParams {
+        /// Human-readable explanation of the violated constraint.
+        reason: String,
+    },
+    /// A concrete channel assignment violates the pairwise-overlap
+    /// invariant: some pair of nodes shares fewer than `k` channels.
+    OverlapViolation {
+        /// First node of the offending pair.
+        a: u32,
+        /// Second node of the offending pair.
+        b: u32,
+        /// The overlap that was actually observed.
+        observed: usize,
+        /// The overlap the model requires.
+        required: usize,
+    },
+    /// The number of protocol instances handed to the engine does not
+    /// match the number of nodes in the channel model.
+    ProtocolCountMismatch {
+        /// Number of nodes in the channel model.
+        nodes: usize,
+        /// Number of protocol instances supplied.
+        protocols: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParams { reason } => {
+                write!(f, "invalid model parameters: {reason}")
+            }
+            SimError::OverlapViolation {
+                a,
+                b,
+                observed,
+                required,
+            } => write!(
+                f,
+                "nodes n{a} and n{b} overlap on {observed} channels, model requires {required}"
+            ),
+            SimError::ProtocolCountMismatch { nodes, protocols } => write!(
+                f,
+                "channel model has {nodes} nodes but {protocols} protocol instances were supplied"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_params() {
+        let e = SimError::InvalidParams {
+            reason: "c exceeds C".into(),
+        };
+        assert_eq!(e.to_string(), "invalid model parameters: c exceeds C");
+    }
+
+    #[test]
+    fn display_overlap_violation() {
+        let e = SimError::OverlapViolation {
+            a: 1,
+            b: 2,
+            observed: 0,
+            required: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("n1"), "{s}");
+        assert!(s.contains("n2"), "{s}");
+        assert!(s.contains('0'), "{s}");
+        assert!(s.contains('3'), "{s}");
+    }
+
+    #[test]
+    fn display_protocol_mismatch() {
+        let e = SimError::ProtocolCountMismatch {
+            nodes: 4,
+            protocols: 3,
+        };
+        assert!(e.to_string().contains("4"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(SimError::InvalidParams { reason: "x".into() });
+    }
+}

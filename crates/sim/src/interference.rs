@@ -1,0 +1,92 @@
+//! External interference (jamming) hooks for the engine.
+//!
+//! The base model has no adversary; Theorem 18 of the paper relates
+//! broadcast in cognitive radio networks to broadcast against an
+//! *n-uniform jamming adversary* in a multi-channel network. The engine
+//! supports that setting through this trait: before resolving a slot it
+//! asks the interference model, per `(node, channel)`, whether the
+//! channel is jammed *for that node*. A jammed broadcaster's transmission
+//! is destroyed and a jammed listener hears only noise (both observe
+//! [`crate::Event::Jammed`]).
+
+use crate::ids::{GlobalChannel, NodeId};
+use rand::rngs::StdRng;
+
+/// A node's committed tuning for the current slot, as visible to an
+/// *adaptive* adversary just before resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Intent {
+    /// The tuned node.
+    pub node: NodeId,
+    /// The physical channel it tuned to.
+    pub channel: GlobalChannel,
+    /// True if it is transmitting (false: listening).
+    pub broadcast: bool,
+}
+
+/// A per-slot, per-node interference decision.
+///
+/// Implementations live in the `crn-jamming` crate; the simulator only
+/// defines the interface and the trivial [`NoInterference`] model.
+///
+/// The default adversary is *oblivious*: it sees only the slot number.
+/// Overriding [`Interference::observe_intents`] yields an *adaptive*
+/// adversary that sees every node's committed channel choice before
+/// deciding what to jam — the strongest model, used to exhibit the
+/// Theorem 17 impossibility intuition (an adaptive channel adversary
+/// can starve communication indefinitely).
+pub trait Interference {
+    /// Advances the adversary to `slot` (e.g. drawing this slot's jam
+    /// sets). Called once per slot before any `is_jammed` query.
+    fn advance(&mut self, slot: u64, rng: &mut StdRng);
+
+    /// Adaptive hook: called after every node has committed its action
+    /// for `slot` (and after [`Interference::advance`]), before any
+    /// `is_jammed` query. Default: ignore (oblivious adversary).
+    fn observe_intents(&mut self, slot: u64, intents: &[Intent]) {
+        let _ = (slot, intents);
+    }
+
+    /// Whether `channel` is jammed for `node` in the current slot.
+    fn is_jammed(&self, node: NodeId, channel: GlobalChannel) -> bool;
+}
+
+/// The absence of interference: nothing is ever jammed.
+///
+/// # Examples
+///
+/// ```
+/// use crn_sim::interference::{Interference, NoInterference};
+/// use crn_sim::{GlobalChannel, NodeId};
+/// let m = NoInterference;
+/// assert!(!m.is_jammed(NodeId(0), GlobalChannel(0)));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoInterference;
+
+impl Interference for NoInterference {
+    fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {}
+    fn is_jammed(&self, _node: NodeId, _channel: GlobalChannel) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_interference_never_jams() {
+        let mut m = NoInterference;
+        let mut rng = StdRng::seed_from_u64(0);
+        for slot in 0..5 {
+            m.advance(slot, &mut rng);
+            for node in 0..4 {
+                for ch in 0..4 {
+                    assert!(!m.is_jammed(NodeId(node), GlobalChannel(ch)));
+                }
+            }
+        }
+    }
+}

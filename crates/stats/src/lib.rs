@@ -1,0 +1,31 @@
+//! # crn-stats — statistics and rendering for the experiments
+//!
+//! Small, dependency-free helpers shared by the benchmark harness and
+//! the test suites:
+//!
+//! - [`summary`] — descriptive statistics with percentiles and a 95% CI;
+//! - [`regression`] — least-squares and log-log (power-law) fits, used
+//!   to check measured scaling exponents against the theorems;
+//! - [`table`] — markdown-style tables and ASCII-charted series, the
+//!   output format of every reproduced table and figure.
+//!
+//! ```
+//! use crn_stats::{Summary, regression::power_law_fit};
+//! let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+//! assert_eq!(s.p50, 2.0);
+//! let fit = power_law_fit(&[1.0, 2.0, 4.0], &[2.0, 4.0, 8.0]).unwrap();
+//! assert!((fit.slope - 1.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod regression;
+pub mod resample;
+pub mod summary;
+pub mod table;
+
+pub use regression::{linear_fit, power_law_fit, LineFit};
+pub use resample::{bootstrap_mean_ci, BootstrapCi};
+pub use summary::Summary;
+pub use table::{Series, Table};

@@ -1,0 +1,77 @@
+//! COGCAST does not care who is hostile: the same unmodified protocol
+//! completes under per-slot channel churn (the dynamic model of
+//! Section 7) and against n-uniform jamming adversaries (Theorem 18).
+//!
+//! ```text
+//! cargo run --example jamming_resilience
+//! ```
+
+use crn::core::cogcast::{run_broadcast, CogCast};
+use crn::jamming::{run_jammed_broadcast, JammerStrategy, SilencerJammer};
+use crn::sim::assignment::full_overlap;
+use crn::sim::channel_model::{DynamicSharedCore, StaticChannels};
+use crn::sim::Network;
+use crn::stats::Summary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trials = 10u64;
+
+    // Part 1: dynamic channel assignments. The non-core channels of
+    // every node are re-drawn each slot with the given probability;
+    // the per-slot overlap guarantee (the k-channel core) is all
+    // COGCAST needs.
+    let (n, c, k) = (24usize, 8usize, 2usize);
+    println!("dynamic channels: n = {n}, c = {c}, k = {k} (mean slots over {trials} trials)");
+    for churn in [0.0, 0.5, 1.0] {
+        let mut slots = Vec::new();
+        for seed in 0..trials {
+            let model = DynamicSharedCore::new(n, c, k, 60, churn, seed)?;
+            slots.push(run_broadcast(model, seed, 10_000_000)?.slots.unwrap());
+        }
+        let s = Summary::of_u64(&slots).unwrap();
+        println!("  churn {churn:>4.1}: {:>7.1} slots (p90 {:>5.0})", s.mean, s.p90);
+    }
+    println!();
+
+    // Part 2: an n-uniform jammer disables up to j channels per node
+    // per slot. With j < c/2 the effective pairwise overlap is c − 2j
+    // and COGCAST still completes (Theorem 18).
+    let (n, c) = (20usize, 12usize);
+    println!("n-uniform jamming: n = {n}, c = {c} shared channels");
+    println!(
+        "{:>10} {:>16} {:>10} {:>10} {:>10}",
+        "jam budget", "eff. overlap", "random", "sweep", "targeted"
+    );
+    for j in [0usize, 2, 4, 5] {
+        let mut row = format!("{j:>10} {:>16}", c - 2 * j);
+        for strategy in JammerStrategy::ALL {
+            let mut slots = Vec::new();
+            for seed in 0..trials {
+                let run = run_jammed_broadcast(n, c, j, strategy, seed, 60.0)?;
+                slots.push(run.slots.expect("completes within the padded budget"));
+            }
+            row.push_str(&format!(" {:>10.1}", Summary::of_u64(&slots).unwrap().mean));
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("broadcast completed in every configuration — no protocol changes needed.");
+    println!();
+
+    // Part 3: the limit of that robustness (Theorem 17's intuition).
+    // An *adaptive* adversary — one that sees each slot's committed
+    // channel choices before deciding what to jam — silences the
+    // network with a budget of just one channel per node per slot.
+    let (n, c) = (12usize, 8usize);
+    let model = StaticChannels::local(full_overlap(n, c)?, 7);
+    let mut protos = vec![CogCast::source(())];
+    protos.extend((1..n).map(|_| CogCast::node()));
+    let mut net =
+        Network::with_interference(model, protos, 7, Box::new(SilencerJammer::new(1)))?;
+    net.run_slots(20_000);
+    let informed = net.protocols().iter().filter(|p| p.is_informed()).count();
+    println!("adaptive jammer (budget 1): {informed}/{n} informed after 20,000 slots");
+    assert_eq!(informed, 1, "the adaptive adversary stalls the epidemic");
+    println!("— the oblivious-vs-adaptive gap is exactly Theorem 18 vs Theorem 17.");
+    Ok(())
+}
