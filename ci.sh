@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification plus style gates.
+#
+#   ./ci.sh
+#
+# Runs, in order:
+#   1. release build of the whole workspace          (tier-1)
+#   2. the full test suite                           (tier-1)
+#   3. rustfmt in check mode
+#   4. clippy across the workspace with -D warnings
+#
+# Everything is offline: external dependencies resolve to the stubs
+# under vendor/ (see Cargo.toml [workspace.dependencies]).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

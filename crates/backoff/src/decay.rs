@@ -69,7 +69,10 @@ pub fn resolve_contention(
     rng: &mut StdRng,
 ) -> Option<ContentionResult> {
     assert!(m >= 1, "need at least one contender");
-    assert!(m <= n_max, "m = {m} exceeds the population bound n_max = {n_max}");
+    assert!(
+        m <= n_max,
+        "m = {m} exceeds the population bound n_max = {n_max}"
+    );
     let epoch = epoch_len(n_max);
     let mut transmitting = vec![false; m];
     for round in 0..max_rounds {
@@ -118,9 +121,7 @@ mod tests {
                 let mut failures = 0;
                 for seed in 0..200 {
                     let mut rng = StdRng::seed_from_u64(seed);
-                    if resolve_contention(m, n_max, recommended_rounds(n_max), &mut rng)
-                        .is_none()
-                    {
+                    if resolve_contention(m, n_max, recommended_rounds(n_max), &mut rng).is_none() {
                         failures += 1;
                     }
                 }

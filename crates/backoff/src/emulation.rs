@@ -53,11 +53,7 @@ pub struct EmulatedSlot {
 /// let slot = emulate_slot(&payloads, 8, &mut rng).unwrap();
 /// assert_eq!(slot.delivered, payloads[slot.winner]);
 /// ```
-pub fn emulate_slot(
-    payloads: &[Bytes],
-    n_max: usize,
-    rng: &mut StdRng,
-) -> Option<EmulatedSlot> {
+pub fn emulate_slot(payloads: &[Bytes], n_max: usize, rng: &mut StdRng) -> Option<EmulatedSlot> {
     let result = resolve_contention(payloads.len(), n_max, recommended_rounds(n_max), rng)?;
     Some(EmulatedSlot {
         winner: result.winner,

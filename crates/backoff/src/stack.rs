@@ -74,11 +74,7 @@ impl PhysicalRun {
 /// assert!(run.completed());
 /// assert!(run.physical_rounds >= run.slots.unwrap());
 /// ```
-pub fn run_physical_broadcast(
-    channel_sets: &[Vec<u32>],
-    seed: u64,
-    max_slots: u64,
-) -> PhysicalRun {
+pub fn run_physical_broadcast(channel_sets: &[Vec<u32>], seed: u64, max_slots: u64) -> PhysicalRun {
     let n = channel_sets.len();
     assert!(n >= 1, "need at least one node");
     assert!(
@@ -241,12 +237,9 @@ mod tests {
             let mut slots = 0u64;
             while count < n {
                 slots += 1;
-                let tuning: Vec<u32> =
-                    sets.iter().map(|s| s[rng.gen_range(0..s.len())]).collect();
+                let tuning: Vec<u32> = sets.iter().map(|s| s[rng.gen_range(0..s.len())]).collect();
                 for i in 0..n {
-                    if !informed[i]
-                        && (0..n).any(|j| informed[j] && tuning[j] == tuning[i])
-                    {
+                    if !informed[i] && (0..n).any(|j| informed[j] && tuning[j] == tuning[i]) {
                         informed[i] = true;
                         count += 1;
                     }

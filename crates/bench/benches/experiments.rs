@@ -129,12 +129,16 @@ fn bench_ablations(cr: &mut Criterion) {
         b.iter(|| {
             let s = next();
             let n = 48;
-            let cfg = CogCompConfig::new(n, 6, 1, 10.0)
-                .with_coordination(Coordination::Uncoordinated);
+            let cfg =
+                CogCompConfig::new(n, 6, 1, 10.0).with_coordination(Coordination::Uncoordinated);
             let budget = cfg.phase4_start() + 3 * (n as u64 * n as u64 + 64);
             let model = StaticChannels::local(shared_core(n, 6, 1).unwrap(), s);
             let values: Vec<Sum> = (0..n as u64).map(Sum).collect();
-            black_box(run_aggregation_cfg(model, values, s, cfg, budget).unwrap().slots)
+            black_box(
+                run_aggregation_cfg(model, values, s, cfg, budget)
+                    .unwrap()
+                    .slots,
+            )
         })
     });
 
@@ -144,9 +148,12 @@ fn bench_ablations(cr: &mut Criterion) {
             let s = next();
             let n = 24usize;
             let model = StaticChannels::local(shared_core(n, 8, 2).unwrap(), s);
-            let values: Vec<Vec<Sum>> =
-                (0..4).map(|_| (0..n as u64).map(Sum).collect()).collect();
-            black_box(run_repeated_aggregation(model, values, s, 10.0).unwrap().slots)
+            let values: Vec<Vec<Sum>> = (0..4).map(|_| (0..n as u64).map(Sum).collect()).collect();
+            black_box(
+                run_repeated_aggregation(model, values, s, 10.0)
+                    .unwrap()
+                    .slots,
+            )
         })
     });
 
@@ -156,8 +163,10 @@ fn bench_ablations(cr: &mut Criterion) {
             let s = next();
             let n = 32;
             let model = StaticChannels::local(shared_core(n, 8, 2).unwrap(), s);
-            let mut protos =
-                vec![Flaky::new(CogCast::source(()), FaultSchedule::Random { p: 0.3 })];
+            let mut protos = vec![Flaky::new(
+                CogCast::source(()),
+                FaultSchedule::Random { p: 0.3 },
+            )];
             protos.extend(
                 (1..n).map(|_| Flaky::new(CogCast::node(), FaultSchedule::Random { p: 0.3 })),
             );
@@ -244,7 +253,12 @@ fn bench_figures(cr: &mut Criterion) {
         b.iter(|| {
             let s = next();
             let model = StaticChannels::local(shared_core(128, 16, 4).unwrap(), s);
-            black_box(run_broadcast(model, s, BUDGET).unwrap().informed_per_slot.len())
+            black_box(
+                run_broadcast(model, s, BUDGET)
+                    .unwrap()
+                    .informed_per_slot
+                    .len(),
+            )
         })
     });
     cr.bench_function("f5_cogcomp_phases", |b| {
@@ -257,7 +271,9 @@ fn bench_figures(cr: &mut Criterion) {
         b.iter(|| {
             let s = next();
             let mut rng = StdRng::seed_from_u64(s);
-            let a = OverlapPattern::Clustered.generate(64, 12, 3, &mut rng).unwrap();
+            let a = OverlapPattern::Clustered
+                .generate(64, 12, 3, &mut rng)
+                .unwrap();
             let model = StaticChannels::local(a, s);
             black_box(run_broadcast(model, s, BUDGET).unwrap().slots)
         })
@@ -282,7 +298,12 @@ fn bench_figures(cr: &mut Criterion) {
     cr.bench_function("f10_backoff", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(next());
-            black_box(resolve_contention(64, 256, recommended_rounds(256), &mut rng))
+            black_box(resolve_contention(
+                64,
+                256,
+                recommended_rounds(256),
+                &mut rng,
+            ))
         })
     });
     cr.bench_function("f11_game_survival", |b| {

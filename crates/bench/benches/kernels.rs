@@ -4,29 +4,111 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
+use crn_bench::effort::par_trials;
 use crn_core::cogcast::CogCast;
 use crn_sim::assignment::shared_core;
 use crn_sim::channel_model::StaticChannels;
 use crn_sim::Network;
 
+/// The (n, c) grid the slot-engine sweep and the JSON baseline cover.
+const ENGINE_GRID: [(usize, usize); 7] = [
+    (16, 4),
+    (16, 8),
+    (64, 4),
+    (64, 8),
+    (256, 8),
+    (1024, 8),
+    (1024, 16),
+];
+
+/// A COGCAST broadcast network on `shared_core(n, c, 2)` with local
+/// labels — the workload every engine throughput number in this repo
+/// is quoted against.
+fn engine_net(n: usize, c: usize, seed: u64) -> Network<u8, CogCast<u8>, StaticChannels> {
+    let model = StaticChannels::local(shared_core(n, c, 2).unwrap(), seed);
+    let mut protos = vec![CogCast::source(0u8)];
+    protos.extend((1..n).map(|_| CogCast::node()));
+    Network::new(model, protos, seed).unwrap()
+}
+
 /// Engine slot throughput: how fast one simulated slot executes as the
-/// network grows (all nodes active, COGCAST workload).
+/// network grows (all nodes active, COGCAST workload), swept over
+/// (n, c).
 fn bench_engine_slots(cr: &mut Criterion) {
-    let mut g = cr.benchmark_group("engine_slot");
-    for &n in &[16usize, 64, 256, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let model = StaticChannels::local(shared_core(n, 8, 2).unwrap(), 1);
-            let mut protos = vec![CogCast::source(0u8)];
-            protos.extend((1..n).map(|_| CogCast::node()));
-            let mut net = Network::new(model, protos, 1).unwrap();
-            b.iter(|| {
-                net.step();
-                black_box(net.slot())
-            });
-        });
+    let mut g = cr.benchmark_group("slot_engine");
+    for &(n, c) in &ENGINE_GRID {
+        g.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), c),
+            &(n, c),
+            |b, &(n, c)| {
+                let mut net = engine_net(n, c, 1);
+                b.iter(|| {
+                    net.step();
+                    black_box(net.slot())
+                });
+            },
+        );
     }
     g.finish();
+    write_engine_baseline();
+}
+
+/// Wall-clock slots/sec for one grid point (steady state: warmed up
+/// past the scratch-buffer fill).
+fn measure_slots_per_sec(n: usize, c: usize) -> (f64, f64) {
+    let mut net = engine_net(n, c, 1);
+    for _ in 0..3000 {
+        net.step();
+    }
+    let slots = (2_000_000 / n).max(2000) as u64;
+    let t0 = Instant::now();
+    for _ in 0..slots {
+        net.step();
+    }
+    let dt = t0.elapsed();
+    (
+        slots as f64 / dt.as_secs_f64(),
+        dt.as_nanos() as f64 / slots as f64,
+    )
+}
+
+/// Re-measures the sweep with plain wall-clock timing and records it to
+/// `BENCH_engine.json` at the repository root — the tracked baseline
+/// EXPERIMENTS.md and the README's Performance section reference. Also
+/// measures aggregate throughput with independent trial networks spread
+/// across cores via [`par_trials`], which is how the experiment harness
+/// actually consumes the engine.
+fn write_engine_baseline() {
+    let mut rows = Vec::new();
+    for &(n, c) in &ENGINE_GRID {
+        let (slots_per_sec, ns_per_slot) = measure_slots_per_sec(n, c);
+        rows.push(format!(
+            "    {{\"n\": {n}, \"c\": {c}, \"slots_per_sec\": {slots_per_sec:.0}, \"ns_per_slot\": {ns_per_slot:.1}}}"
+        ));
+    }
+
+    // Aggregate: 32 independent n=256 trial networks across all cores,
+    // the shape of a `par_trials` experiment sweep.
+    let (trials, per_trial_slots) = (32usize, 4000u64);
+    let t0 = Instant::now();
+    par_trials(trials, |seed| {
+        let mut net = engine_net(256, 8, seed + 1);
+        for _ in 0..per_trial_slots {
+            net.step();
+        }
+        net.slot()
+    });
+    let aggregate = (trials as u64 * per_trial_slots) as f64 / t0.elapsed().as_secs_f64();
+
+    let json = format!(
+        "{{\n  \"bench\": \"slot_engine\",\n  \"workload\": \"COGCAST broadcast, shared_core(n, c, 2), local labels\",\n  \"engine\": \"scratch-buffered, allocation-free steady state\",\n  \"grid\": [\n{}\n  ],\n  \"par_trials\": {{\"trials\": {trials}, \"slots_per_trial\": {per_trial_slots}, \"aggregate_slots_per_sec\": {aggregate:.0}}}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, json).expect("write BENCH_engine.json");
+    println!("wrote {path}");
 }
 
 /// Channel-assignment generation cost across patterns.

@@ -1,6 +1,5 @@
 //! Effort levels and the parallel trial runner.
 
-use crossbeam::thread;
 use serde::{Deserialize, Serialize};
 
 /// How much work an experiment invocation spends.
@@ -55,24 +54,36 @@ impl Effort {
 pub fn par_trials<T: Send>(trials: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1)
-        .min(trials.max(1));
+        .unwrap_or(1);
+    par_trials_with_workers(trials, workers, f)
+}
+
+/// [`par_trials`] with an explicit worker count.
+///
+/// Every trial is keyed by its seed, not by which worker ran it, so the
+/// returned vector is identical for any `workers >= 1` — the
+/// `results_independent_of_worker_count` test pins this down.
+pub fn par_trials_with_workers<T: Send>(
+    trials: usize,
+    workers: usize,
+    f: impl Fn(u64) -> T + Sync,
+) -> Vec<T> {
+    let workers = workers.max(1).min(trials.max(1));
     if workers <= 1 {
         return (0..trials as u64).map(f).collect();
     }
     let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     let chunk = trials.div_ceil(workers);
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for (w, slice) in results.chunks_mut(chunk).enumerate() {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (i, slot) in slice.iter_mut().enumerate() {
                     *slot = Some(f((w * chunk + i) as u64));
                 }
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("all slots filled"))
@@ -104,6 +115,29 @@ mod tests {
     #[test]
     fn mean_slots_averages() {
         assert_eq!(mean_slots(4, |s| s + 1), 2.5);
+    }
+
+    #[test]
+    fn results_independent_of_worker_count() {
+        // The same trial function, fanned out over 1..=9 workers
+        // (including counts that do not divide the trial count), must
+        // produce byte-identical results in seed order: trials are
+        // keyed by seed, never by scheduling.
+        let f = |seed: u64| {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            (seed, rng.gen::<u64>())
+        };
+        let reference = par_trials_with_workers(23, 1, f);
+        for workers in 2..=9 {
+            assert_eq!(
+                par_trials_with_workers(23, workers, f),
+                reference,
+                "results changed with {workers} workers"
+            );
+        }
+        assert_eq!(par_trials(23, f), reference, "default worker count differs");
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub fn t6(effort: Effort) -> Table {
     let c = 12usize;
     let trials = effort.trials(200);
     let mut t = Table::new(
-        format!("T6: pairwise rendezvous — randomized vs deterministic jump-stay (c = {c}; mean slots)"),
+        format!(
+            "T6: pairwise rendezvous — randomized vs deterministic jump-stay (c = {c}; mean slots)"
+        ),
         &["k", "randomized", "jump-stay", "c²/k"],
     );
     for k in [1usize, 2, 4, 8, 12] {
@@ -120,11 +122,8 @@ pub fn a2(effort: Effort) -> Table {
     for &p in &[0.0f64, 0.1, 0.3, 0.5] {
         let mean = mean_slots(trials, |seed| {
             let model = StaticChannels::local(shared_core(n, c, k).expect("valid"), seed);
-            let mut protos =
-                vec![Flaky::new(CogCast::source(()), FaultSchedule::Random { p })];
-            protos.extend(
-                (1..n).map(|_| Flaky::new(CogCast::node(), FaultSchedule::Random { p })),
-            );
+            let mut protos = vec![Flaky::new(CogCast::source(()), FaultSchedule::Random { p })];
+            protos.extend((1..n).map(|_| Flaky::new(CogCast::node(), FaultSchedule::Random { p })));
             let mut net = Network::new(model, protos, seed).expect("construct");
             let mut done_at = None;
             for s in 0..MEASURE_BUDGET {
@@ -162,7 +161,9 @@ pub fn a3(effort: Effort) -> Table {
     let trials = effort.trials(200);
     let mut t = Table::new(
         "A3: COGCAST completion probability within the alpha-scaled Theorem 4 budget",
-        &["n", "c", "k", "alpha=1", "alpha=2", "alpha=4", "alpha=6", "alpha=10"],
+        &[
+            "n", "c", "k", "alpha=1", "alpha=2", "alpha=4", "alpha=6", "alpha=10",
+        ],
     );
     for &(n, c, k) in &effort.sweep(shapes) {
         let mut row = vec![n.to_string(), c.to_string(), k.to_string()];
@@ -170,7 +171,11 @@ pub fn a3(effort: Effort) -> Table {
             let budget = bounds::cogcast_slots(n, c, k, alpha);
             let ok = par_trials(trials, |seed| {
                 let model = StaticChannels::local(shared_core(n, c, k).expect("valid"), seed);
-                u64::from(run_broadcast(model, seed, budget).expect("construct").completed())
+                u64::from(
+                    run_broadcast(model, seed, budget)
+                        .expect("construct")
+                        .completed(),
+                )
             })
             .iter()
             .sum::<u64>();
@@ -189,8 +194,16 @@ pub fn a4(effort: Effort) -> Table {
     let (n, c, k) = (32usize, 12usize, 1usize);
     let trials = effort.trials(10);
     let mut t = Table::new(
-        format!("A4: amortized repeated aggregation (n = {n}, c = {c}, k = {k}; mean slots per round)"),
-        &["rounds", "amortized total", "per round", "independent per run", "saving"],
+        format!(
+            "A4: amortized repeated aggregation (n = {n}, c = {c}, k = {k}; mean slots per round)"
+        ),
+        &[
+            "rounds",
+            "amortized total",
+            "per round",
+            "independent per run",
+            "saving",
+        ],
     );
     let independent = mean_slots(trials, |seed| {
         let model = StaticChannels::local(shared_core(n, c, k).expect("valid"), seed);
@@ -202,8 +215,9 @@ pub fn a4(effort: Effort) -> Table {
     for rounds in [1usize, 2, 4, 8, 16] {
         let total = mean_slots(trials, |seed| {
             let model = StaticChannels::local(shared_core(n, c, k).expect("valid"), seed);
-            let values: Vec<Vec<Sum>> =
-                (0..rounds).map(|_| (0..n as u64).map(Sum).collect()).collect();
+            let values: Vec<Vec<Sum>> = (0..rounds)
+                .map(|_| (0..n as u64).map(Sum).collect())
+                .collect();
             let run = run_repeated_aggregation(model, values, seed, 6.0).expect("run");
             assert!(run.is_complete(), "rounds={rounds} seed={seed}");
             run.slots.unwrap()

@@ -23,8 +23,15 @@ fn cogcomp_mean(n: usize, c: usize, k: usize, trials: usize) -> f64 {
         let model = StaticChannels::local(shared_core(n, c, k).expect("valid"), seed);
         let values: Vec<Sum> = (0..n as u64).map(Sum).collect();
         let run = run_aggregation(model, values, seed, COGCOMP_ALPHA).expect("construct");
-        assert!(run.is_complete(), "COGCOMP timed out (n={n}, c={c}, k={k}, seed={seed})");
-        assert_eq!(run.result, Some(Sum((0..n as u64).sum())), "wrong aggregate");
+        assert!(
+            run.is_complete(),
+            "COGCOMP timed out (n={n}, c={c}, k={k}, seed={seed})"
+        );
+        assert_eq!(
+            run.result,
+            Some(Sum((0..n as u64).sum())),
+            "wrong aggregate"
+        );
         run.slots.unwrap()
     })
 }
@@ -83,7 +90,13 @@ pub fn f5(effort: Effort) -> Table {
     let trials = effort.trials(10);
     let mut t = Table::new(
         format!("F5: COGCOMP phase breakdown (c = {c}, k = {k}; means over {trials} trials)"),
-        &["n", "phase1 = phase3 (l)", "phase2 (n)", "phase4 steps", "total slots"],
+        &[
+            "n",
+            "phase1 = phase3 (l)",
+            "phase2 (n)",
+            "phase4 steps",
+            "total slots",
+        ],
     );
     for &n in &effort.sweep(ns) {
         let cfg = CogCompConfig::new(n, c, k, bounds::DEFAULT_ALPHA);

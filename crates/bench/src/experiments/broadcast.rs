@@ -16,8 +16,9 @@ const MEASURE_BUDGET: u64 = 50_000_000;
 fn cogcast_mean(n: usize, c: usize, k: usize, trials: usize, pool_scale: usize) -> f64 {
     mean_slots(trials, |seed| {
         let mut rng = derive_rng(seed, 0xB0);
-        let a = crn_sim::assignment::random_with_core(n, c, k, (c - k).max(1) * pool_scale, &mut rng)
-            .expect("valid parameters");
+        let a =
+            crn_sim::assignment::random_with_core(n, c, k, (c - k).max(1) * pool_scale, &mut rng)
+                .expect("valid parameters");
         let model = StaticChannels::local(a, seed);
         run_broadcast(model, seed, MEASURE_BUDGET)
             .expect("construction")
@@ -29,8 +30,9 @@ fn cogcast_mean(n: usize, c: usize, k: usize, trials: usize, pool_scale: usize) 
 fn baseline_mean(n: usize, c: usize, k: usize, trials: usize, pool_scale: usize) -> f64 {
     mean_slots(trials, |seed| {
         let mut rng = derive_rng(seed, 0xB1);
-        let a = crn_sim::assignment::random_with_core(n, c, k, (c - k).max(1) * pool_scale, &mut rng)
-            .expect("valid parameters");
+        let a =
+            crn_sim::assignment::random_with_core(n, c, k, (c - k).max(1) * pool_scale, &mut rng)
+                .expect("valid parameters");
         let model = StaticChannels::local(a, seed);
         run_baseline_broadcast(model, seed, MEASURE_BUDGET)
             .expect("construction")
@@ -172,7 +174,12 @@ pub fn f7(effort: Effort) -> Table {
         });
         {
             let mut rng = derive_rng(0, 0xF7);
-            overlaps.push(pattern.generate(n, c, k, &mut rng).unwrap().min_pairwise_overlap());
+            overlaps.push(
+                pattern
+                    .generate(n, c, k, &mut rng)
+                    .unwrap()
+                    .min_pairwise_overlap(),
+            );
         }
         t.push_row(vec![
             pattern.name().to_string(),
@@ -198,8 +205,7 @@ pub fn f8(effort: Effort) -> Series {
     );
     for &churn in &churns {
         let mean = mean_slots(trials, |seed| {
-            let model =
-                DynamicSharedCore::new(n, c, k, (c - k) * 10, churn, seed).expect("valid");
+            let model = DynamicSharedCore::new(n, c, k, (c - k) * 10, churn, seed).expect("valid");
             run_broadcast(model, seed, MEASURE_BUDGET)
                 .expect("construction")
                 .slots
@@ -221,8 +227,16 @@ pub fn f13(effort: Effort) -> Table {
     let ns: &[usize] = &[8, 32, 128, 512];
     let trials = effort.trials(10);
     let mut t = Table::new(
-        format!("F13: COGCAST physical-layer anatomy (c = {c}, k = {k}; means over {trials} trials)"),
-        &["n", "slots", "collision rate", "delivery efficiency", "wasted wins/slot"],
+        format!(
+            "F13: COGCAST physical-layer anatomy (c = {c}, k = {k}; means over {trials} trials)"
+        ),
+        &[
+            "n",
+            "slots",
+            "collision rate",
+            "delivery efficiency",
+            "wasted wins/slot",
+        ],
     );
     for &n in &effort.sweep(ns) {
         let logs = crate::effort::par_trials(trials, |seed| {
@@ -298,7 +312,10 @@ mod tests {
         let s = f3(Effort::Quick);
         let first = s.points().first().unwrap().1;
         let last = s.points().last().unwrap().1;
-        assert!(first > last, "slots must drop as k grows: {first} vs {last}");
+        assert!(
+            first > last,
+            "slots must drop as k grows: {first} vs {last}"
+        );
     }
 
     #[test]

@@ -15,7 +15,14 @@ pub fn t3(effort: Effort) -> Table {
     let trials = effort.trials(500);
     let mut t = Table::new(
         "T3: (c,k)-bipartite hitting game — win probability at the Lemma 11 floor c²/(8k)",
-        &["c", "k", "floor", "P[win] uniform", "P[win] fresh", "< 1/2 ?"],
+        &[
+            "c",
+            "k",
+            "floor",
+            "P[win] uniform",
+            "P[win] fresh",
+            "< 1/2 ?",
+        ],
     );
     for &(c, k) in &effort.sweep(grid) {
         let floor = hitting_game_floor(c, k, 2.0);
@@ -71,7 +78,9 @@ pub fn f11(effort: Effort) -> Table {
     let trials = effort.trials(500);
     let mut t = Table::new(
         "F11: hitting-game survival — P[win by round] at checkpoints around the floor",
-        &["game", "player", "floor/4", "floor/2", "floor", "2*floor", "4*floor"],
+        &[
+            "game", "player", "floor/4", "floor/2", "floor", "2*floor", "4*floor",
+        ],
     );
     // Lemma 11 instance.
     let (c, k) = (32usize, 4usize);

@@ -58,7 +58,13 @@ pub fn f9(effort: Effort) -> Table {
     let trials = effort.trials(15);
     let mut t = Table::new(
         format!("F9: COGCAST under n-uniform jamming (n = {n}, c = {c}; mean slots)"),
-        &["jam budget k", "effective overlap c-2k", "random", "sweep", "targeted"],
+        &[
+            "jam budget k",
+            "effective overlap c-2k",
+            "random",
+            "sweep",
+            "targeted",
+        ],
     );
     for k in [0usize, 1, 2, 3, 4, 5] {
         let mut cells = vec![k.to_string(), (c - 2 * k).to_string()];
@@ -103,7 +109,14 @@ pub fn f14(effort: Effort) -> Table {
     let trials = effort.trials(15);
     let mut t = Table::new(
         format!("F14: COGCAST on the physical stack vs the collision oracle (c = {c}, k = {k})"),
-        &["n", "oracle slots", "physical slots", "rounds/slot", "physical rounds", "failed episodes"],
+        &[
+            "n",
+            "oracle slots",
+            "physical slots",
+            "rounds/slot",
+            "physical rounds",
+            "failed episodes",
+        ],
     );
     for &n in &effort.sweep(ns) {
         let oracle = mean_slots(trials, |seed| {
@@ -224,7 +237,10 @@ mod tests {
         let t = f9(Effort::Quick);
         let first: f64 = t.rows()[0][2].parse().unwrap();
         let last: f64 = t.rows().last().unwrap()[2].parse().unwrap();
-        assert!(last > first, "jamming must slow broadcast: {first} vs {last}");
+        assert!(
+            last > first,
+            "jamming must slow broadcast: {first} vs {last}"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Opts {
 
     /// A string option, or the default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// A typed option, or the default.

@@ -40,7 +40,9 @@ fn shape(opts: &Opts) -> Result<(usize, usize, usize, u64, usize), String> {
     let seed = opts.get("seed", 1u64)?;
     let trials = opts.get("trials", 10usize)?;
     if n == 0 || c == 0 || k == 0 || k > c {
-        return Err(format!("need n,c >= 1 and 1 <= k <= c (n={n}, c={c}, k={k})"));
+        return Err(format!(
+            "need n,c >= 1 and 1 <= k <= c (n={n}, c={c}, k={k})"
+        ));
     }
     Ok((n, c, k, seed, trials))
 }
@@ -67,7 +69,9 @@ pub fn broadcast(opts: &Opts) -> Result<String, String> {
             run_broadcast(model, s, BUDGET)
         } else {
             let mut rng = derive_rng(s, 0xC11);
-            let a = pattern.generate(n, c, k, &mut rng).map_err(|e| e.to_string())?;
+            let a = pattern
+                .generate(n, c, k, &mut rng)
+                .map_err(|e| e.to_string())?;
             run_broadcast(StaticChannels::local(a, s), s, BUDGET)
         }
         .map_err(|e| e.to_string())?;
@@ -107,7 +111,9 @@ pub fn aggregate(opts: &Opts) -> Result<String, String> {
     for t in 0..trials as u64 {
         let s = seed.wrapping_add(t);
         let mut rng = derive_rng(s, 0xA66);
-        let a = pattern.generate(n, c, k, &mut rng).map_err(|e| e.to_string())?;
+        let a = pattern
+            .generate(n, c, k, &mut rng)
+            .map_err(|e| e.to_string())?;
         let model = StaticChannels::local(a, s);
         macro_rules! run_op {
             ($mk:expr, $fmt:expr) => {{
@@ -170,7 +176,11 @@ pub fn rendezvous(opts: &Opts) -> Result<String, String> {
     }
     let mut out = format!(
         "pairwise rendezvous: c = {c}, k = {k}, scheme = {}\n",
-        if deterministic { "deterministic jump-stay" } else { "uniform randomized" }
+        if deterministic {
+            "deterministic jump-stay"
+        } else {
+            "uniform randomized"
+        }
     );
     out.push_str(&summary_line("meeting time", &slots));
     writeln!(out, "c²/k reference: {:.0}", (c * c) as f64 / k as f64).expect("write");
@@ -190,7 +200,11 @@ pub fn flood(opts: &Opts) -> Result<String, String> {
             let h = n.div_ceil(w);
             Topology::grid(w, h)
         }
-        other => return Err(format!("unknown topology {other:?}; options: line, ring, grid, complete")),
+        other => {
+            return Err(format!(
+                "unknown topology {other:?}; options: line, ring, grid, complete"
+            ))
+        }
     };
     let n = topo.len();
     let diameter = topo.diameter().ok_or("topology is disconnected")?;
@@ -238,9 +252,8 @@ pub fn game(opts: &Opts) -> Result<String, String> {
     }
     let floor = bounds::hitting_game_floor(c, k, 2.0);
     let below = rounds.iter().filter(|&&r| r <= floor).count();
-    let mut out = format!(
-        "({c},{k})-bipartite hitting game, player = {player_name}, {trials} games\n"
-    );
+    let mut out =
+        format!("({c},{k})-bipartite hitting game, player = {player_name}, {trials} games\n");
     out.push_str(&summary_line("winning round", &rounds));
     writeln!(
         out,
@@ -269,7 +282,9 @@ fn play_boxed(
 pub fn jam(opts: &Opts) -> Result<String, String> {
     let (n, c, k, seed, trials) = shape(opts)?;
     if 2 * k >= c {
-        return Err(format!("the Theorem 18 regime needs k < c/2 (k = {k}, c = {c})"));
+        return Err(format!(
+            "the Theorem 18 regime needs k < c/2 (k = {k}, c = {c})"
+        ));
     }
     let strategy_name = opts.get_str("strategy", "random");
     let strategy = JammerStrategy::ALL
@@ -347,7 +362,7 @@ pub fn monitor(opts: &Opts) -> Result<String, String> {
     let values: Vec<Vec<Max>> = (0..rounds)
         .map(|r| {
             (0..n)
-                .map(|_| Max(100 + 2 * r as u64 + rand::Rng::gen_range(&mut vrng, 0..20)))
+                .map(|_| Max(100 + 2 * r as u64 + rand::Rng::gen_range(&mut vrng, 0u64..20)))
                 .collect()
         })
         .collect();
@@ -376,11 +391,17 @@ pub fn monitor(opts: &Opts) -> Result<String, String> {
         writeln!(
             out,
             "  round {r}: max = {measured}{}",
-            if measured == *truth { "" } else { " (MISMATCH)" }
+            if measured == *truth {
+                ""
+            } else {
+                " (MISMATCH)"
+            }
         )
         .expect("write");
         if measured != *truth {
-            return Err(format!("round {r} result {measured} != ground truth {truth}"));
+            return Err(format!(
+                "round {r} result {measured} != ground truth {truth}"
+            ));
         }
     }
     Ok(out)
@@ -455,8 +476,10 @@ mod tests {
     #[test]
     fn aggregate_each_op() {
         for op in ["sum", "min", "max", "count", "mean"] {
-            let out = aggregate(&opts(&["--n", "10", "--c", "4", "--op", op, "--trials", "2"]))
-                .unwrap_or_else(|e| panic!("{op}: {e}"));
+            let out = aggregate(&opts(&[
+                "--n", "10", "--c", "4", "--op", op, "--trials", "2",
+            ]))
+            .unwrap_or_else(|e| panic!("{op}: {e}"));
             assert!(out.contains(&format!("op = {op}")), "{out}");
             assert!(out.contains("result"), "{out}");
         }
@@ -465,8 +488,10 @@ mod tests {
 
     #[test]
     fn aggregate_sum_is_correct() {
-        let out = aggregate(&opts(&["--n", "10", "--c", "4", "--op", "sum", "--trials", "1"]))
-            .unwrap();
+        let out = aggregate(&opts(&[
+            "--n", "10", "--c", "4", "--op", "sum", "--trials", "1",
+        ]))
+        .unwrap();
         assert!(out.contains(": 45"), "{out}");
     }
 
@@ -474,17 +499,33 @@ mod tests {
     fn rendezvous_both_schemes() {
         let out = rendezvous(&opts(&["--c", "6", "--k", "2", "--trials", "5"])).unwrap();
         assert!(out.contains("uniform randomized"));
-        let out =
-            rendezvous(&opts(&["--c", "6", "--k", "2", "--trials", "5", "--deterministic"]))
-                .unwrap();
+        let out = rendezvous(&opts(&[
+            "--c",
+            "6",
+            "--k",
+            "2",
+            "--trials",
+            "5",
+            "--deterministic",
+        ]))
+        .unwrap();
         assert!(out.contains("deterministic"));
     }
 
     #[test]
     fn flood_topologies() {
         for topo in ["line", "ring", "grid", "complete"] {
-            let out = flood(&opts(&["--n", "9", "--c", "4", "--topology", topo, "--trials", "2"]))
-                .unwrap_or_else(|e| panic!("{topo}: {e}"));
+            let out = flood(&opts(&[
+                "--n",
+                "9",
+                "--c",
+                "4",
+                "--topology",
+                topo,
+                "--trials",
+                "2",
+            ]))
+            .unwrap_or_else(|e| panic!("{topo}: {e}"));
             assert!(out.contains("diameter"), "{out}");
         }
         assert!(flood(&opts(&["--topology", "torus"])).is_err());
@@ -498,7 +539,10 @@ mod tests {
 
     #[test]
     fn jam_runs_and_validates_regime() {
-        let out = jam(&opts(&["--n", "10", "--c", "8", "--k", "2", "--trials", "3"])).unwrap();
+        let out = jam(&opts(&[
+            "--n", "10", "--c", "8", "--k", "2", "--trials", "3",
+        ]))
+        .unwrap();
         assert!(out.contains("effective overlap"));
         assert!(jam(&opts(&["--c", "8", "--k", "4"])).is_err());
     }
@@ -531,17 +575,29 @@ mod tests {
     #[test]
     fn help_mentions_every_command() {
         let h = help();
-        for cmd in ["broadcast", "aggregate", "rendezvous", "flood", "game", "jam", "backoff"] {
+        for cmd in [
+            "broadcast",
+            "aggregate",
+            "rendezvous",
+            "flood",
+            "game",
+            "jam",
+            "backoff",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
     }
 
     #[test]
     fn deterministic_output_for_fixed_seed() {
-        let a = broadcast(&opts(&["--n", "10", "--c", "4", "--trials", "3", "--seed", "9"]))
-            .unwrap();
-        let b = broadcast(&opts(&["--n", "10", "--c", "4", "--trials", "3", "--seed", "9"]))
-            .unwrap();
+        let a = broadcast(&opts(&[
+            "--n", "10", "--c", "4", "--trials", "3", "--seed", "9",
+        ]))
+        .unwrap();
+        let b = broadcast(&opts(&[
+            "--n", "10", "--c", "4", "--trials", "3", "--seed", "9",
+        ]))
+        .unwrap();
         assert_eq!(a, b);
     }
 }

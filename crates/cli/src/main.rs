@@ -17,7 +17,11 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+    if raw.is_empty()
+        || raw
+            .iter()
+            .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
         print!("{}", commands::help());
         return ExitCode::SUCCESS;
     }

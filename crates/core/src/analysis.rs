@@ -213,7 +213,10 @@ mod tests {
         };
         let r1 = rate_at(1);
         let r6 = rate_at(6);
-        assert!(r6 > r1, "more overlap must mean faster informs: {r1} vs {r6}");
+        assert!(
+            r6 > r1,
+            "more overlap must mean faster informs: {r1} vs {r6}"
+        );
     }
 
     #[test]

@@ -431,7 +431,9 @@ mod tests {
 
         assert!(protos[0].informed().is_none(), "source has no parent");
         for (i, p) in protos.iter().enumerate().skip(1) {
-            let info = p.informed().unwrap_or_else(|| panic!("node {i} uninformed"));
+            let info = p
+                .informed()
+                .unwrap_or_else(|| panic!("node {i} uninformed"));
             // Parent must have been informed strictly before this node.
             let parent = &protos[info.from.index()];
             let parent_time = if parent.is_source() {

@@ -201,10 +201,7 @@ mod tests {
     #[test]
     fn new_uses_theorem4_budget() {
         let cfg = CogCompConfig::new(100, 10, 2, 3.0);
-        assert_eq!(
-            cfg.phase1_slots,
-            bounds::cogcast_slots(100, 10, 2, 3.0)
-        );
+        assert_eq!(cfg.phase1_slots, bounds::cogcast_slots(100, 10, 2, 3.0));
     }
 
     #[test]

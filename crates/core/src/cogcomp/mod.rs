@@ -430,8 +430,7 @@ mod tests {
     #[test]
     fn two_node_network() {
         let model = StaticChannels::local(shared_core(2, 3, 1).unwrap(), 6);
-        let run =
-            run_aggregation(model, vec![Sum(5), Sum(8)], 6, bounds::DEFAULT_ALPHA).unwrap();
+        let run = run_aggregation(model, vec![Sum(5), Sum(8)], 6, bounds::DEFAULT_ALPHA).unwrap();
         assert!(run.is_complete());
         assert_eq!(run.result, Some(Sum(13)));
     }
@@ -470,8 +469,7 @@ mod tests {
                 .map(|r| (0..n as u64).map(|i| Sum(i + 100 * r)).collect())
                 .collect();
             let model = StaticChannels::local(shared_core(n, c, k).unwrap(), seed);
-            let run =
-                run_repeated_aggregation(model, rounds, seed, bounds::DEFAULT_ALPHA).unwrap();
+            let run = run_repeated_aggregation(model, rounds, seed, bounds::DEFAULT_ALPHA).unwrap();
             assert!(run.is_complete(), "seed {seed}: {:?}", run.results);
             for (r, result) in run.results.iter().enumerate() {
                 let expect: u64 = (0..n as u64).map(|i| i + 100 * r as u64).sum();
@@ -488,8 +486,9 @@ mod tests {
         // so the amortization is unambiguous.
         let (n, c, k, rounds) = (24usize, 12usize, 1usize, 6usize);
         let model = StaticChannels::local(shared_core(n, c, k).unwrap(), 3);
-        let values: Vec<Vec<Sum>> =
-            (0..rounds).map(|_| (0..n as u64).map(Sum).collect()).collect();
+        let values: Vec<Vec<Sum>> = (0..rounds)
+            .map(|_| (0..n as u64).map(Sum).collect())
+            .collect();
         let run = run_repeated_aggregation(model, values, 3, bounds::DEFAULT_ALPHA).unwrap();
         assert!(run.is_complete());
         let amortized = run.slots.unwrap();
@@ -635,17 +634,14 @@ mod tests {
         let protos = net.into_protocols();
         // Every node's informer-cluster sizes, summed over all nodes,
         // must cover each non-source node exactly once.
-        let total: u32 = protos.iter().map(|p| {
-            (0..p.informer_cluster_count()).count() as u32
-        }).sum::<u32>();
+        let total: u32 = protos
+            .iter()
+            .map(|p| (0..p.informer_cluster_count()).count() as u32)
+            .sum::<u32>();
         assert!(total >= 1);
         // Each non-source node belongs to exactly one cluster, whose
         // size the node knows:
-        let sum_by_membership: u32 = protos
-            .iter()
-            .filter(|p| !p.is_source())
-            .map(|_| 1u32)
-            .sum();
+        let sum_by_membership: u32 = protos.iter().filter(|p| !p.is_source()).map(|_| 1u32).sum();
         assert_eq!(sum_by_membership, n as u32 - 1);
     }
 
@@ -664,7 +660,7 @@ mod tests {
         // most one mediator per global channel.
         assert!(mediators >= 1);
         assert!(mediators <= 6 + (n - 1) * 4); // <= C
-        // The source result must still be exact.
+                                               // The source result must still be exact.
         assert_eq!(protos[0].result(), Some(&Count(n as u64)));
     }
 }

@@ -528,12 +528,7 @@ impl<V: Aggregate> CogComp<V> {
         StepRole::Idle
     }
 
-    fn decide_phase4(
-        &mut self,
-        ctx: &NodeCtx<'_>,
-        step: u64,
-        sub: u8,
-    ) -> Action<CogCompMsg<V>> {
+    fn decide_phase4(&mut self, ctx: &NodeCtx<'_>, step: u64, sub: u8) -> Action<CogCompMsg<V>> {
         if !self.phase4_ready {
             self.phase4_ready = true;
             // Collect clusters in descending informed-slot order
@@ -547,8 +542,7 @@ impl<V: Aggregate> CogComp<V> {
         }
         // Round boundaries are derived from the globally known step
         // count, so all nodes switch rounds in the same slot.
-        let target_round =
-            (step / self.cfg.round_steps()).min(u64::from(self.cfg.rounds) - 1);
+        let target_round = (step / self.cfg.round_steps()).min(u64::from(self.cfg.rounds) - 1);
         if target_round > self.round && !self.done {
             self.advance_round(target_round);
         }
@@ -572,22 +566,18 @@ impl<V: Aggregate> CogComp<V> {
             StepRole::Sender => {
                 let info = self.informed.expect("a sender was informed");
                 let may_send = match self.cfg.coordination {
-                    super::Coordination::Mediated => {
-                        self.heard_announce == Some(info.slot)
-                    }
+                    super::Coordination::Mediated => self.heard_announce == Some(info.slot),
                     super::Coordination::Uncoordinated => true,
                 };
                 match sub {
-                    1 if may_send && !self.delivered_mine => {
-                        Action::Broadcast(
-                            info.channel,
-                            CogCompMsg::Value {
-                                id: ctx.id,
-                                r: info.slot,
-                                agg: self.acc.clone(),
-                            },
-                        )
-                    }
+                    1 if may_send && !self.delivered_mine => Action::Broadcast(
+                        info.channel,
+                        CogCompMsg::Value {
+                            id: ctx.id,
+                            r: info.slot,
+                            agg: self.acc.clone(),
+                        },
+                    ),
                     _ => Action::Listen(info.channel),
                 }
             }

@@ -111,9 +111,7 @@ impl DistributionTree {
                         parent: *parent,
                     })
                 }
-                Some(_) if node == root => {
-                    return Err(TreeError::BadParent { node, parent: root })
-                }
+                Some(_) if node == root => return Err(TreeError::BadParent { node, parent: root }),
                 _ => {}
             }
         }
@@ -345,11 +343,7 @@ mod tests {
 
     #[test]
     fn cycle_rejected() {
-        let parents = vec![
-            None,
-            Some((NodeId(2), 5)),
-            Some((NodeId(1), 6)),
-        ];
+        let parents = vec![None, Some((NodeId(2), 5)), Some((NodeId(1), 6))];
         let err = DistributionTree::from_parents(NodeId(0), parents).unwrap_err();
         assert!(matches!(err, TreeError::Unrooted { .. }), "{err:?}");
     }

@@ -56,6 +56,59 @@ proptest! {
     }
 }
 
+/// Pinned replay of the checked-in proptest regression
+/// (`cogcast_properties.proptest-regressions`): `n = 2, c = 3,
+/// k_off = 2, pattern = FullOverlap, global_labels = false,
+/// seed = 7537`.
+///
+/// The failure it recorded was a deterministic never-meet: with two
+/// fully-overlapping nodes on 3 channels, correlated per-node RNG
+/// streams kept source and listener permanently on distinct channels,
+/// so the run missed even the 4x Theorem 4 budget (a correct engine
+/// misses it with probability (2/3)^60 ≈ 3e-11). Node streams are now
+/// derived through independent SplitMix64-mixed streams
+/// (`crn_sim::rng::derive_rng`), and this exact configuration must
+/// complete. It is pinned as a plain unit test because the offline
+/// proptest runner does not replay `proptest-regressions` files — see
+/// `vendor/proptest/src/lib.rs`.
+#[test]
+fn regression_full_overlap_local_labels_n2_c3_seed7537() {
+    let (n, c, k_off, seed) = (2usize, 3usize, 2usize, 7537u64);
+    let k = 1 + k_off % c;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0C0);
+    let assignment = OverlapPattern::FullOverlap
+        .generate(n, c, k, &mut rng)
+        .expect("valid shape");
+    let model = StaticChannels::local(assignment, seed);
+    let budget = 4 * bounds::cogcast_slots(n, c, k, bounds::DEFAULT_ALPHA);
+    let run = run_broadcast(model, seed, budget).expect("construct");
+    assert!(run.completed(), "regression case missed budget {budget}");
+    for w in run.informed_per_slot.windows(2) {
+        assert!(w[0] <= w[1], "epidemic curve must be monotone");
+    }
+    assert_eq!(*run.informed_per_slot.last().expect("non-empty"), n);
+}
+
+/// The same regression shape swept across many seeds: the per-slot
+/// meet probability for two fully-overlapping nodes on c = 3 channels
+/// is 1/3, so any stream-correlation defect that recreates a
+/// never-meet pair shows up as a budget miss here long before it
+/// reappears in the sampled property above.
+#[test]
+fn regression_shape_completes_across_seed_sweep() {
+    let (n, c, k) = (2usize, 3usize, 3usize);
+    let budget = 4 * bounds::cogcast_slots(n, c, k, bounds::DEFAULT_ALPHA);
+    for seed in 0..500u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0C0);
+        let assignment = OverlapPattern::FullOverlap
+            .generate(n, c, k, &mut rng)
+            .expect("valid shape");
+        let model = StaticChannels::local(assignment, seed);
+        let run = run_broadcast(model, seed, budget).expect("construct");
+        assert!(run.completed(), "seed {seed} missed budget {budget}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]

@@ -147,8 +147,14 @@ mod tests {
             ],
         );
         assert!(j.is_jammed(NodeId(1), GlobalChannel(3)), "listener jammed");
-        assert!(!j.is_jammed(NodeId(0), GlobalChannel(3)), "transmitter spared");
-        assert!(!j.is_jammed(NodeId(1), GlobalChannel(4)), "other channels clean");
+        assert!(
+            !j.is_jammed(NodeId(0), GlobalChannel(3)),
+            "transmitter spared"
+        );
+        assert!(
+            !j.is_jammed(NodeId(1), GlobalChannel(4)),
+            "other channels clean"
+        );
     }
 
     #[test]

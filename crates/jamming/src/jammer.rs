@@ -67,7 +67,10 @@ impl UniformJammer {
     ///
     /// Panics if `k > c`.
     pub fn new(n: usize, c: usize, k: usize, strategy: JammerStrategy) -> Self {
-        assert!(k <= c, "jam budget k = {k} exceeds the channel count c = {c}");
+        assert!(
+            k <= c,
+            "jam budget k = {k} exceeds the channel count c = {c}"
+        );
         UniformJammer {
             n,
             c,

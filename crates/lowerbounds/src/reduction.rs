@@ -66,16 +66,18 @@ pub fn run_reduction(
         assert!((a_r as usize) < c, "source chose channel {a_r} >= c = {c}");
         for node in 1..n {
             let b_r = choose(slot, node, rng);
-            assert!((b_r as usize) < c, "node {node} chose channel {b_r} >= c = {c}");
+            assert!(
+                (b_r as usize) < c,
+                "node {node} chose channel {b_r} >= c = {c}"
+            );
             let e = Edge::new(a_r, b_r);
-            if proposed.insert(e)
-                && game.propose(e) {
-                    return ReductionOutcome {
-                        game_rounds: game.rounds(),
-                        sim_slots: slots,
-                        won: true,
-                    };
-                }
+            if proposed.insert(e) && game.propose(e) {
+                return ReductionOutcome {
+                    game_rounds: game.rounds(),
+                    sim_slots: slots,
+                    won: true,
+                };
+            }
         }
     }
     ReductionOutcome {

@@ -277,7 +277,15 @@ mod tests {
         let from1 = p[0]
             .heard
             .iter()
-            .filter(|e| matches!(e, Event::Received { from: NodeId(1), .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Received {
+                        from: NodeId(1),
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(
             (700..=1300).contains(&from1),

@@ -110,7 +110,9 @@ impl Topology {
     /// A random unit-disk graph: `n` points uniform in the unit square,
     /// an edge whenever two points are within `radius`.
     pub fn unit_disk(n: usize, radius: f64, rng: &mut impl Rng) -> Self {
-        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         let r2 = radius * radius;
         let mut edges = Vec::new();
         for a in 0..n {

@@ -47,12 +47,13 @@ fn step_strategy(c: u32) -> impl Strategy<Value = Step> {
     ]
 }
 
-fn instance() -> impl Strategy<Value = (usize, u32, Vec<Vec<Step>>, Vec<(usize, usize)>)> {
+/// One generated test instance: `(n, c, per-node scripts, edge list)`.
+type Instance = (usize, u32, Vec<Vec<Step>>, Vec<(usize, usize)>);
+
+fn instance() -> impl Strategy<Value = Instance> {
     (3usize..8, 1u32..4, 1usize..10).prop_flat_map(|(n, c, slots)| {
-        let scripts = proptest::collection::vec(
-            proptest::collection::vec(step_strategy(c), slots),
-            n,
-        );
+        let scripts =
+            proptest::collection::vec(proptest::collection::vec(step_strategy(c), slots), n);
         let edges = proptest::collection::vec((0..n, 0..n), 0..=n * 2);
         (Just(n), Just(c), scripts, edges)
     })
@@ -76,6 +77,9 @@ proptest! {
         }
         let protos = net.into_protocols();
 
+        // Indexing (not iterating) because `slot` addresses the same
+        // position in every node's script and event log at once.
+        #[allow(clippy::needless_range_loop)]
         for slot in 0..slots {
             for i in 0..n {
                 let ev = &protos[i].events[slot];

@@ -18,8 +18,7 @@
 
 use crn_sim::rng::derive_rng;
 use crn_sim::{
-    Action, ChannelModel, Event, GlobalChannel, LocalChannel, Network, NodeCtx, Protocol,
-    SimError,
+    Action, ChannelModel, Event, GlobalChannel, LocalChannel, Network, NodeCtx, Protocol, SimError,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -193,7 +192,11 @@ impl Protocol<AcqMsg> for Acquainted {
     fn observe(&mut self, ctx: &NodeCtx<'_>, event: Event<AcqMsg>) {
         if self.shared.is_some() {
             match event {
-                Event::Received { msg: AcqMsg::Beacon, .. } | Event::Delivered => {
+                Event::Received {
+                    msg: AcqMsg::Beacon,
+                    ..
+                }
+                | Event::Delivered => {
                     self.meetings_after_acquaintance += 1;
                 }
                 _ => {}

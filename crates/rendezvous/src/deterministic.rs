@@ -33,8 +33,7 @@
 //! O(c·C)` slots. (The bound is verified by an exhaustive test.)
 
 use crn_sim::{
-    Action, ChannelModel, Event, GlobalChannel, LocalChannel, Network, NodeCtx, Protocol,
-    SimError,
+    Action, ChannelModel, Event, GlobalChannel, LocalChannel, Network, NodeCtx, Protocol, SimError,
 };
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -223,7 +222,10 @@ pub fn jump_stay_rendezvous_slots<CM: ChannelModel>(
 ) -> Result<Option<u64>, SimError> {
     if model.n() != 2 {
         return Err(SimError::InvalidParams {
-            reason: format!("pairwise rendezvous needs exactly 2 nodes, got {}", model.n()),
+            reason: format!(
+                "pairwise rendezvous needs exactly 2 nodes, got {}",
+                model.n()
+            ),
         });
     }
     if !model.labels_are_global() {
@@ -326,7 +328,10 @@ mod tests {
             let horizon = 2 * 6 * 2 * p;
             let model = StaticChannels::global(a);
             let slots = jump_stay_rendezvous_slots(model, seed, horizon).unwrap();
-            assert!(slots.is_some(), "seed {seed} missed the {horizon}-slot horizon");
+            assert!(
+                slots.is_some(),
+                "seed {seed} missed the {horizon}-slot horizon"
+            );
         }
     }
 

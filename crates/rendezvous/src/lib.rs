@@ -35,10 +35,10 @@ pub mod hop_together;
 pub mod msg;
 pub mod pairwise;
 
-pub use acquainted::{run_acquainted, Acquainted, AcquaintedRun, AcqMsg};
+pub use acquainted::{run_acquainted, AcqMsg, Acquainted, AcquaintedRun};
 pub use aggregate::{run_baseline_aggregation, BaselineAggregationRun, RendezvousAggregation};
-pub use deterministic::{jump_stay_rendezvous_slots, JumpStay, JumpStaySchedule, SlotPlan};
 pub use broadcast::{run_baseline_broadcast, BaselineBroadcastRun, RendezvousBroadcast};
+pub use deterministic::{jump_stay_rendezvous_slots, JumpStay, JumpStaySchedule, SlotPlan};
 pub use hop_together::{run_hop_together, HopTogether, HopTogetherRun};
 pub use msg::BaselineMsg;
 pub use pairwise::{rendezvous_slots, RandomHop};

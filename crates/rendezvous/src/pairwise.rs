@@ -90,7 +90,10 @@ pub fn rendezvous_slots<CM: ChannelModel>(
 ) -> Result<Option<u64>, SimError> {
     if model.n() != 2 {
         return Err(SimError::InvalidParams {
-            reason: format!("pairwise rendezvous needs exactly 2 nodes, got {}", model.n()),
+            reason: format!(
+                "pairwise rendezvous needs exactly 2 nodes, got {}",
+                model.n()
+            ),
         });
     }
     let protos = vec![RandomHop::beaconer(), RandomHop::listener()];

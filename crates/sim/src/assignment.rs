@@ -92,10 +92,7 @@ impl ChannelAssignment {
                     .into(),
             });
         }
-        if sets
-            .iter()
-            .any(|s| s.iter().any(|g| g.index() >= total))
-        {
+        if sets.iter().any(|s| s.iter().any(|g| g.index() >= total)) {
             return Err(SimError::InvalidParams {
                 reason: format!("channel id out of range (C = {total})"),
             });
@@ -533,7 +530,11 @@ pub fn clustered(
             let base = (k + g * group_pool) as u32;
             let pool_ids: Vec<u32> = (base..base + group_pool as u32).collect();
             let mut s: Vec<GlobalChannel> = (0..k as u32).map(GlobalChannel).collect();
-            s.extend(pool_ids.choose_multiple(rng, private).map(|&x| GlobalChannel(x)));
+            s.extend(
+                pool_ids
+                    .choose_multiple(rng, private)
+                    .map(|&x| GlobalChannel(x)),
+            );
             s
         })
         .collect();
@@ -597,12 +598,8 @@ impl OverlapPattern {
             OverlapPattern::RandomDispersed => {
                 random_with_core(n, c, k, (c - k).max(1) * n.max(4) * 4, rng)
             }
-            OverlapPattern::RandomCongested => {
-                random_with_core(n, c, k, ((c - k) * 2).max(1), rng)
-            }
-            OverlapPattern::Clustered => {
-                clustered(n, c, k, 4, ((c - k) * 3).max(1), rng)
-            }
+            OverlapPattern::RandomCongested => random_with_core(n, c, k, ((c - k) * 2).max(1), rng),
+            OverlapPattern::Clustered => clustered(n, c, k, 4, ((c - k) * 3).max(1), rng),
         }
     }
 }
@@ -691,7 +688,14 @@ mod tests {
             vec![GlobalChannel(2), GlobalChannel(3)],
         ];
         let err = ChannelAssignment::from_sets(sets, 4, 1).unwrap_err();
-        assert!(matches!(err, SimError::OverlapViolation { observed: 0, required: 1, .. }));
+        assert!(matches!(
+            err,
+            SimError::OverlapViolation {
+                observed: 0,
+                required: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -734,8 +738,14 @@ mod tests {
     fn ragged_rejects_bad_params() {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(ragged_with_core(&[], 1, 5, &mut rng).is_err());
-        assert!(ragged_with_core(&[3, 1], 2, 5, &mut rng).is_err(), "c_u < k");
-        assert!(ragged_with_core(&[3, 9], 2, 3, &mut rng).is_err(), "pool too small");
+        assert!(
+            ragged_with_core(&[3, 1], 2, 5, &mut rng).is_err(),
+            "c_u < k"
+        );
+        assert!(
+            ragged_with_core(&[3, 9], 2, 3, &mut rng).is_err(),
+            "pool too small"
+        );
         assert!(ragged_with_core(&[3, 4], 0, 5, &mut rng).is_err());
     }
 

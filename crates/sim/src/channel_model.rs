@@ -297,8 +297,7 @@ mod tests {
         // essentially never all identical.
         let a = full_overlap(4, 16).unwrap();
         let m = StaticChannels::local(a, 1);
-        let orders: HashSet<Vec<GlobalChannel>> =
-            (0..4).map(|i| m.channels(i).to_vec()).collect();
+        let orders: HashSet<Vec<GlobalChannel>> = (0..4).map(|i| m.channels(i).to_vec()).collect();
         assert!(orders.len() > 1);
     }
 

@@ -208,7 +208,65 @@ pub struct Network<M, P, CM> {
     interference: Option<Box<dyn Interference>>,
     slot: u64,
     activity: SlotActivity,
+    scratch: Scratch<M>,
     _marker: std::marker::PhantomData<M>,
+}
+
+/// Reusable per-slot buffers owned by [`Network`].
+///
+/// Every vector [`Network::step`] needs is cleared and refilled in
+/// place, so after the first few slots the engine performs no heap
+/// allocation in steady state (see `tests/alloc.rs`). `pool` recycles
+/// the [`ChannelActivity`] records — and, crucially, the `broadcasters`
+/// / `listeners` vectors inside them — that were published through
+/// [`Network::last_activity`] on the previous slot.
+struct Scratch<M> {
+    /// Phase A: each node's chosen action this slot.
+    actions: Vec<Action<M>>,
+    /// Phase B: per node, whether interference suppressed it this slot.
+    jammed_nodes: Vec<bool>,
+    /// Phase B: committed tunings shown to adaptive interference.
+    intents: Vec<crate::interference::Intent>,
+    /// Phase B/C: `(channel, node, is_broadcast)`, sorted by channel.
+    tuned: Vec<(GlobalChannel, usize, bool)>,
+    /// Phase B: staging buffer for the counting sort that orders `tuned`.
+    tuned_unsorted: Vec<(GlobalChannel, usize, bool)>,
+    /// Phase B: per-channel counts / running offsets for the counting sort.
+    chan_counts: Vec<u32>,
+    /// Phase C: per node, the winning node on its channel (if any).
+    winners: Vec<Option<usize>>,
+    /// Retired [`ChannelActivity`] records, indexed by global channel.
+    ///
+    /// Keying the pool by channel (rather than recycling LIFO) means
+    /// each channel's broadcaster/listener vectors converge to *that
+    /// channel's* high-water capacity, after which refills never
+    /// reallocate. Costs `O(total_channels)` empty records of scratch
+    /// memory.
+    pool: Vec<ChannelActivity>,
+}
+
+fn empty_channel_record() -> ChannelActivity {
+    ChannelActivity {
+        channel: GlobalChannel(0),
+        broadcasters: Vec::new(),
+        winner: None,
+        listeners: Vec::new(),
+    }
+}
+
+impl<M> Default for Scratch<M> {
+    fn default() -> Self {
+        Scratch {
+            actions: Vec::new(),
+            jammed_nodes: Vec::new(),
+            intents: Vec::new(),
+            tuned: Vec::new(),
+            tuned_unsorted: Vec::new(),
+            chan_counts: Vec::new(),
+            winners: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
 }
 
 impl<M, P, CM> Network<M, P, CM>
@@ -267,6 +325,7 @@ where
             interference,
             slot: 0,
             activity: SlotActivity::default(),
+            scratch: Scratch::default(),
             _marker: std::marker::PhantomData,
         })
     }
@@ -319,8 +378,20 @@ where
             intf.advance(slot, &mut self.jam_rng);
         }
 
+        // Retire last slot's channel records to their per-channel pool
+        // slots so each channel's vectors keep their own capacity.
+        if self.scratch.pool.len() < self.model.total_channels() {
+            self.scratch
+                .pool
+                .resize_with(self.model.total_channels(), empty_channel_record);
+        }
+        for act in self.activity.channels.drain(..) {
+            let idx = act.channel.index();
+            self.scratch.pool[idx] = act;
+        }
+
         // Phase A: collect decisions.
-        let mut actions: Vec<Action<M>> = Vec::with_capacity(n);
+        self.scratch.actions.clear();
         for i in 0..n {
             let c_i = self.model.c_of(i);
             let ctx = NodeCtx {
@@ -342,92 +413,120 @@ where
                     "protocol bug: node {i} chose local channel {ch} but c = {c_i}"
                 );
             }
-            actions.push(action);
+            self.scratch.actions.push(action);
         }
 
         // Phase B: translate to global channels, show the committed
         // intents to an adaptive adversary, apply interference, and
         // group participants per channel (sorted for determinism).
-        let mut jammed_nodes: Vec<bool> = vec![false; n];
+        self.scratch.jammed_nodes.clear();
+        self.scratch.jammed_nodes.resize(n, false);
         let mut sleepers = 0usize;
         let mut jammed_count = 0usize;
-        let mut intents: Vec<crate::interference::Intent> = Vec::with_capacity(n);
-        for (i, action) in actions.iter().enumerate() {
-            let Some(local) = action.channel() else {
-                sleepers += 1;
-                continue;
-            };
-            intents.push(crate::interference::Intent {
-                node: NodeId(i as u32),
-                channel: self.model.channels(i)[local.index()],
-                broadcast: action.is_broadcast(),
-            });
-        }
-        if let Some(intf) = self.interference.as_mut() {
-            intf.observe_intents(slot, &intents);
-        }
-        // (channel, node, is_broadcast)
-        let mut tuned: Vec<(GlobalChannel, usize, bool)> = Vec::with_capacity(intents.len());
-        for intent in &intents {
-            let jammed = self
-                .interference
-                .as_ref()
-                .is_some_and(|intf| intf.is_jammed(intent.node, intent.channel));
-            if jammed {
-                jammed_nodes[intent.node.index()] = true;
-                jammed_count += 1;
-            } else {
-                tuned.push((intent.channel, intent.node.index(), intent.broadcast));
+        self.scratch.tuned_unsorted.clear();
+        if self.interference.is_some() {
+            // Interference is adaptive: the committed intents must be
+            // shown to the adversary before jamming is applied.
+            self.scratch.intents.clear();
+            for (i, action) in self.scratch.actions.iter().enumerate() {
+                let Some(local) = action.channel() else {
+                    sleepers += 1;
+                    continue;
+                };
+                self.scratch.intents.push(crate::interference::Intent {
+                    node: NodeId(i as u32),
+                    channel: self.model.channels(i)[local.index()],
+                    broadcast: action.is_broadcast(),
+                });
+            }
+            if let Some(intf) = self.interference.as_mut() {
+                intf.observe_intents(slot, &self.scratch.intents);
+            }
+            for intent in &self.scratch.intents {
+                let jammed = self
+                    .interference
+                    .as_ref()
+                    .is_some_and(|intf| intf.is_jammed(intent.node, intent.channel));
+                if jammed {
+                    self.scratch.jammed_nodes[intent.node.index()] = true;
+                    jammed_count += 1;
+                } else {
+                    self.scratch.tuned_unsorted.push((
+                        intent.channel,
+                        intent.node.index(),
+                        intent.broadcast,
+                    ));
+                }
+            }
+        } else {
+            // No adversary: tune directly, skipping the intent staging.
+            for (i, action) in self.scratch.actions.iter().enumerate() {
+                let Some(local) = action.channel() else {
+                    sleepers += 1;
+                    continue;
+                };
+                self.scratch.tuned_unsorted.push((
+                    self.model.channels(i)[local.index()],
+                    i,
+                    action.is_broadcast(),
+                ));
             }
         }
-        tuned.sort_unstable();
+        self.sort_tuned_by_channel();
 
         // Phase C: resolve contention channel by channel.
         self.activity.slot = slot;
-        self.activity.channels.clear();
         self.activity.sleepers = sleepers;
         self.activity.jammed = jammed_count;
-        let mut winners: Vec<Option<usize>> = vec![None; n]; // per node: winning node on its channel
+        self.scratch.winners.clear();
+        self.scratch.winners.resize(n, None); // per node: winning node on its channel
         let mut start = 0;
-        while start < tuned.len() {
-            let channel = tuned[start].0;
+        while start < self.scratch.tuned.len() {
+            let channel = self.scratch.tuned[start].0;
             let mut end = start;
-            while end < tuned.len() && tuned[end].0 == channel {
+            while end < self.scratch.tuned.len() && self.scratch.tuned[end].0 == channel {
                 end += 1;
             }
-            let group = &tuned[start..end];
-            let broadcasters: Vec<usize> =
-                group.iter().filter(|t| t.2).map(|t| t.1).collect();
-            let listeners: Vec<usize> =
-                group.iter().filter(|t| !t.2).map(|t| t.1).collect();
-            let winner = if broadcasters.is_empty() {
+            let mut act = std::mem::replace(
+                &mut self.scratch.pool[channel.index()],
+                empty_channel_record(),
+            );
+            act.channel = channel;
+            act.broadcasters.clear();
+            act.listeners.clear();
+            let group = &self.scratch.tuned[start..end];
+            for &(_, node, is_broadcast) in group {
+                if is_broadcast {
+                    act.broadcasters.push(NodeId(node as u32));
+                } else {
+                    act.listeners.push(NodeId(node as u32));
+                }
+            }
+            let winner = if act.broadcasters.is_empty() {
                 None
             } else {
-                Some(broadcasters[self.engine_rng.gen_range(0..broadcasters.len())])
+                let pick = self.engine_rng.gen_range(0..act.broadcasters.len());
+                Some(act.broadcasters[pick].index())
             };
+            act.winner = winner.map(|i| NodeId(i as u32));
             for &(_, node, _) in group {
-                winners[node] = winner;
+                self.scratch.winners[node] = winner;
             }
-            self.activity.channels.push(ChannelActivity {
-                channel,
-                broadcasters: broadcasters.iter().map(|&i| NodeId(i as u32)).collect(),
-                winner: winner.map(|i| NodeId(i as u32)),
-                listeners: listeners.iter().map(|&i| NodeId(i as u32)).collect(),
-            });
+            self.activity.channels.push(act);
             start = end;
         }
 
         // Phase D: deliver observations.
         for i in 0..n {
-            let event: Event<M> = if jammed_nodes[i] {
+            let event: Event<M> = if self.scratch.jammed_nodes[i] {
                 Event::Jammed
             } else {
-                match &actions[i] {
+                match &self.scratch.actions[i] {
                     Action::Sleep => continue,
-                    Action::Broadcast(..) => match winners[i] {
+                    Action::Broadcast(..) => match self.scratch.winners[i] {
                         Some(w) if w == i => Event::Delivered,
                         Some(w) => {
-                            let Action::Broadcast(_, msg) = &actions[w] else {
+                            let Action::Broadcast(_, msg) = &self.scratch.actions[w] else {
                                 unreachable!("winner must have broadcast")
                             };
                             Event::Lost {
@@ -437,9 +536,9 @@ where
                         }
                         None => unreachable!("a broadcaster's channel always has a winner"),
                     },
-                    Action::Listen(_) => match winners[i] {
+                    Action::Listen(_) => match self.scratch.winners[i] {
                         Some(w) => {
-                            let Action::Broadcast(_, msg) = &actions[w] else {
+                            let Action::Broadcast(_, msg) = &self.scratch.actions[w] else {
                                 unreachable!("winner must have broadcast")
                             };
                             Event::Received {
@@ -468,6 +567,43 @@ where
 
         self.slot += 1;
         &self.activity
+    }
+
+    /// Orders `scratch.tuned_unsorted` by global channel into
+    /// `scratch.tuned`, ties broken by node id.
+    ///
+    /// Uses a stable counting sort over the model's channel space when
+    /// that space is comparably sized to the participant list (the
+    /// common case), falling back to a comparison sort for very sparse
+    /// channel spaces. Both paths produce the identical ordering:
+    /// `tuned_unsorted` is filled in ascending node order and each node
+    /// appears at most once, so stability by channel equals sorting by
+    /// `(channel, node)`.
+    fn sort_tuned_by_channel(&mut self) {
+        let unsorted = &mut self.scratch.tuned_unsorted;
+        let tuned = &mut self.scratch.tuned;
+        tuned.clear();
+        let total = self.model.total_channels();
+        if total > unsorted.len().saturating_mul(8).max(4096) {
+            tuned.append(unsorted);
+            tuned.sort_unstable_by_key(|&(ch, node, _)| (ch, node));
+            return;
+        }
+        let counts = &mut self.scratch.chan_counts;
+        counts.clear();
+        counts.resize(total + 1, 0);
+        for &(ch, _, _) in unsorted.iter() {
+            counts[ch.index() + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        tuned.resize(unsorted.len(), (GlobalChannel(0), 0, false));
+        for &entry in unsorted.iter() {
+            let at = counts[entry.0.index()];
+            tuned[at as usize] = entry;
+            counts[entry.0.index()] = at + 1;
+        }
     }
 
     /// Runs until `done` holds (checked after every slot) or the budget
@@ -738,13 +874,16 @@ mod tests {
             Scripted::new(vec![Action::Listen(LocalChannel(0))]),
             Scripted::new(vec![Action::Listen(LocalChannel(0))]),
         ];
-        let mut net =
-            Network::with_interference(model, protos, 1, Box::new(JamOneForOne)).unwrap();
+        let mut net = Network::with_interference(model, protos, 1, Box::new(JamOneForOne)).unwrap();
         let activity = net.step().clone();
         assert_eq!(activity.jammed, 1);
         let p = net.into_protocols();
         assert_eq!(p[0].events, vec![Event::Delivered]);
-        assert_eq!(p[1].events, vec![Event::Jammed], "jammed listener hears noise");
+        assert_eq!(
+            p[1].events,
+            vec![Event::Jammed],
+            "jammed listener hears noise"
+        );
         assert_eq!(
             p[2].events,
             vec![Event::Received {
@@ -807,7 +946,11 @@ mod tests {
                 Scripted::new(vec![Action::Listen(LocalChannel(0))]),
             ];
             let mut net = if via_builder {
-                NetworkBuilder::new(model).seed(4).protocols(protos).build().unwrap()
+                NetworkBuilder::new(model)
+                    .seed(4)
+                    .protocols(protos)
+                    .build()
+                    .unwrap()
             } else {
                 Network::new(model, protos, 4).unwrap()
             };

@@ -183,7 +183,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let s = FaultSchedule::Periodic { period: 4, down: 1 };
         let down: Vec<bool> = (0..8).map(|t| s.is_down(t, &mut rng)).collect();
-        assert_eq!(down, vec![true, false, false, false, true, false, false, false]);
+        assert_eq!(
+            down,
+            vec![true, false, false, false, true, false, false, false]
+        );
     }
 
     #[test]

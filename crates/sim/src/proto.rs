@@ -219,7 +219,10 @@ mod tests {
         assert_eq!(ctx.local_label_of(GlobalChannel(4)), Some(LocalChannel(1)));
         assert_eq!(ctx.local_label_of(GlobalChannel(99)), None);
 
-        let local_ctx = NodeCtx { channels: None, ..ctx };
+        let local_ctx = NodeCtx {
+            channels: None,
+            ..ctx
+        };
         assert_eq!(local_ctx.local_label_of(GlobalChannel(4)), None);
     }
 }

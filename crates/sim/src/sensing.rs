@@ -157,10 +157,7 @@ pub fn sense_assignment(
             }
             set.push(GlobalChannel(b));
         }
-        interfering_picks[node] = set
-            .iter()
-            .filter(|g| occupied[g.index()])
-            .count();
+        interfering_picks[node] = set.iter().filter(|g| occupied[g.index()]).count();
         sets.push(set);
     }
 

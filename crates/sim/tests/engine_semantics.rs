@@ -14,9 +14,7 @@
 
 use crn_sim::assignment::full_overlap;
 use crn_sim::channel_model::StaticChannels;
-use crn_sim::{
-    Action, Event, LocalChannel, Network, NodeCtx, NodeId, Protocol, SlotActivity,
-};
+use crn_sim::{Action, Event, LocalChannel, Network, NodeCtx, NodeId, Protocol, SlotActivity};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 
@@ -67,12 +65,135 @@ fn scripts_strategy() -> impl Strategy<Value = (usize, u32, Vec<Vec<Step>>)> {
         (
             Just(n),
             Just(c),
-            proptest::collection::vec(
-                proptest::collection::vec(step_strategy(c), slots),
-                n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(step_strategy(c), slots), n),
         )
     })
+}
+
+/// Theorem 18's exclusion at the slot level: a broadcaster whose
+/// `(node, channel)` pair is jammed is removed from the slot entirely —
+/// its message is never delivered to anyone, it never wins contention,
+/// and it observes `Jammed` rather than a contention outcome.
+#[test]
+fn jammed_broadcaster_never_delivers_and_never_wins() {
+    use crn_sim::interference::Interference;
+    use crn_sim::GlobalChannel;
+
+    /// Permanently jams node 0 on global channel 0.
+    struct JamSource;
+    impl Interference for JamSource {
+        fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {}
+        fn is_jammed(&self, node: NodeId, channel: GlobalChannel) -> bool {
+            node == NodeId(0) && channel == GlobalChannel(0)
+        }
+    }
+
+    let slots = 200usize;
+    let script = |step: Step| vec![step; slots];
+    let protos = vec![
+        Scripted {
+            id: 0,
+            script: script(Step::Broadcast(0)),
+            events: Vec::new(),
+        },
+        Scripted {
+            id: 1,
+            script: script(Step::Broadcast(0)),
+            events: Vec::new(),
+        },
+        Scripted {
+            id: 2,
+            script: script(Step::Listen(0)),
+            events: Vec::new(),
+        },
+    ];
+    let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+    let mut net = Network::with_interference(model, protos, 5, Box::new(JamSource)).unwrap();
+    for _ in 0..slots {
+        let activity = net.step();
+        assert_eq!(activity.jammed, 1);
+        let ch = activity.on_channel(GlobalChannel(0)).expect("busy channel");
+        assert!(
+            !ch.broadcasters.contains(&NodeId(0)),
+            "jammed broadcaster must not contend"
+        );
+        assert_ne!(
+            ch.winner,
+            Some(NodeId(0)),
+            "jammed broadcaster must not win"
+        );
+    }
+    let protos = net.into_protocols();
+    for ev in protos[0].events.iter() {
+        assert_eq!(
+            ev.clone().expect("broadcaster observes"),
+            Event::Jammed,
+            "jammed broadcaster observes only jamming"
+        );
+    }
+    for (slot, ev) in protos[2].events.iter().enumerate() {
+        // Node 1 is the only live broadcaster, so the listener receives
+        // its message every slot — never node 0's.
+        assert_eq!(
+            ev.clone().expect("listener observes"),
+            Event::Received {
+                from: NodeId(1),
+                msg: 10_000 + slot as u32
+            }
+        );
+    }
+}
+
+/// With local labels (`labels_are_global() == false`), protocols must
+/// not be able to see the global channel ids behind their labels:
+/// `NodeCtx.channels` is `None` in both `decide` and `observe`. With
+/// global labels it is `Some` — the same assignment, observed through
+/// both models.
+#[test]
+fn local_labels_never_expose_global_channel_ids() {
+    use crn_sim::channel_model::ChannelModel;
+
+    /// Records whether `ctx.channels` was populated, every call.
+    struct CtxSpy {
+        saw_channels: Vec<bool>,
+    }
+    impl Protocol<u8> for CtxSpy {
+        fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u8> {
+            self.saw_channels.push(ctx.channels.is_some());
+            Action::Broadcast(LocalChannel(0), 1)
+        }
+        fn observe(&mut self, ctx: &NodeCtx<'_>, _event: Event<u8>) {
+            self.saw_channels.push(ctx.channels.is_some());
+        }
+    }
+
+    for global in [false, true] {
+        let assignment = full_overlap(4, 3).unwrap();
+        let model = if global {
+            StaticChannels::global(assignment)
+        } else {
+            StaticChannels::local(assignment, 17)
+        };
+        assert_eq!(model.labels_are_global(), global);
+        let protos = (0..4)
+            .map(|_| CtxSpy {
+                saw_channels: Vec::new(),
+            })
+            .collect();
+        let mut net = Network::new(model, protos, 17).unwrap();
+        for _ in 0..50 {
+            net.step();
+        }
+        for (i, spy) in net.into_protocols().into_iter().enumerate() {
+            assert!(!spy.saw_channels.is_empty());
+            for saw in spy.saw_channels {
+                assert_eq!(
+                    saw, global,
+                    "node {i}: ctx.channels must be Some iff labels are global (global={global})"
+                );
+            }
+        }
+    }
 }
 
 proptest! {

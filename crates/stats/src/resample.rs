@@ -72,9 +72,8 @@ pub fn bootstrap_mean_ci(
         .collect();
     means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| -> usize {
-        ((q * (iterations - 1) as f64).round() as usize).min(iterations - 1)
-    };
+    let idx =
+        |q: f64| -> usize { ((q * (iterations - 1) as f64).round() as usize).min(iterations - 1) };
     Some(BootstrapCi {
         mean,
         lo: means[idx(alpha)],

@@ -211,7 +211,11 @@ impl fmt::Display for Series {
             writeln!(f, "| {x} | {y:.3} |")?;
         }
         writeln!(f)?;
-        writeln!(f, "{} vs {} (bars scaled to max):", self.y_label, self.x_label)?;
+        writeln!(
+            f,
+            "{} vs {} (bars scaled to max):",
+            self.y_label, self.x_label
+        )?;
         self.render_bars(f)
     }
 }

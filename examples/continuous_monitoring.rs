@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rounds: Vec<Vec<Max>> = (0..epochs)
         .map(|e| {
             (0..n)
-                .map(|_| Max(200 + 3 * e as u64 + rng.gen_range(0..25)))
+                .map(|_| Max(200 + 3 * e as u64 + rng.gen_range(0u64..25)))
                 .collect()
         })
         .collect();
@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3 * run.cfg.round_steps()
     );
     println!();
-    println!("{:>6} {:>12} {:>12}", "epoch", "measured max", "ground truth");
+    println!(
+        "{:>6} {:>12} {:>12}",
+        "epoch", "measured max", "ground truth"
+    );
     for (e, result) in run.results.iter().enumerate() {
         let measured = result.as_ref().expect("complete").0;
         println!("{e:>6} {measured:>12} {:>12}", truth[e]);

@@ -34,19 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut done = None;
             for s in 0..1_000_000u64 {
                 net.step();
-                if net
-                    .protocols()
-                    .iter()
-                    .all(|f| f.inner().is_informed())
-                {
+                if net.protocols().iter().all(|f| f.inner().is_informed()) {
                     done = Some(s + 1);
                     break;
                 }
             }
             slots.push(done.expect("broadcast completes despite faults"));
-            downtime.push(
-                net.protocols().iter().map(|f| f.downtime()).sum::<u64>(),
-            );
+            downtime.push(net.protocols().iter().map(|f| f.downtime()).sum::<u64>());
         }
         let s = Summary::of_u64(&slots).unwrap();
         let d = Summary::of_u64(&downtime).unwrap();

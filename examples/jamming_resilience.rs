@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             slots.push(run_broadcast(model, seed, 10_000_000)?.slots.unwrap());
         }
         let s = Summary::of_u64(&slots).unwrap();
-        println!("  churn {churn:>4.1}: {:>7.1} slots (p90 {:>5.0})", s.mean, s.p90);
+        println!(
+            "  churn {churn:>4.1}: {:>7.1} slots (p90 {:>5.0})",
+            s.mean, s.p90
+        );
     }
     println!();
 
@@ -66,8 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = StaticChannels::local(full_overlap(n, c)?, 7);
     let mut protos = vec![CogCast::source(())];
     protos.extend((1..n).map(|_| CogCast::node()));
-    let mut net =
-        Network::with_interference(model, protos, 7, Box::new(SilencerJammer::new(1)))?;
+    let mut net = Network::with_interference(model, protos, 7, Box::new(SilencerJammer::new(1)))?;
     net.run_slots(20_000);
     let informed = net.protocols().iter().filter(|p| p.is_informed()).count();
     println!("adaptive jammer (budget 1): {informed}/{n} informed after 20,000 slots");

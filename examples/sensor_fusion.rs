@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Synthetic readings: tenths of a degree around 21.5 C.
     let mut rng = StdRng::seed_from_u64(99);
-    let readings: Vec<u64> = (0..n).map(|_| 180 + rng.gen_range(0..80)).collect();
+    let readings: Vec<u64> = (0..n).map(|_| 180 + rng.gen_range(0u64..80)).collect();
     let truth_min = *readings.iter().min().unwrap();
     let truth_max = *readings.iter().max().unwrap();
     let truth_mean = readings.iter().sum::<u64>() as f64 / n as f64;

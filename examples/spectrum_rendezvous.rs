@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trials = 10u64;
 
     println!("local broadcast, n = {n}, k = {k}, mean slots over {trials} trials:");
-    println!("{:>6} {:>12} {:>12} {:>9}", "c", "COGCAST", "rendezvous", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "c", "COGCAST", "rendezvous", "speedup"
+    );
     for c in [4usize, 8, 16, 24] {
         let mut ours = Vec::new();
         let mut base = Vec::new();
@@ -35,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let ours = Summary::of_u64(&ours).unwrap().mean;
         let base = Summary::of_u64(&base).unwrap().mean;
-        println!(
-            "{c:>6} {ours:>12.1} {base:>12.1} {:>8.1}x",
-            base / ours
-        );
+        println!("{c:>6} {ours:>12.1} {base:>12.1} {:>8.1}x", base / ours);
     }
     println!("(the speedup column tracks the paper's factor-c separation)");
     println!();

@@ -17,9 +17,9 @@
 //! ```
 
 use crn::core::aggregate::{BitSet, Max};
+use crn::core::bounds;
 use crn::core::cogcast::run_broadcast;
 use crn::core::cogcomp::run_aggregation_default;
-use crn::core::bounds;
 use crn::sim::channel_model::StaticChannels;
 use crn::sim::sensing::{sense_assignment, SpectrumConfig};
 use rand::rngs::StdRng;

@@ -43,25 +43,24 @@ fn all_aggregate_types_agree_with_ground_truth() {
     let values: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 100).collect();
     let model = || StaticChannels::local(shared_core(n, 6, 2).unwrap(), 8);
 
-    let run = run_aggregation_default(model(), values.iter().map(|&v| Sum(v)).collect(), 1).unwrap();
+    let run =
+        run_aggregation_default(model(), values.iter().map(|&v| Sum(v)).collect(), 1).unwrap();
     assert_eq!(run.result, Some(Sum(values.iter().sum())));
 
-    let run = run_aggregation_default(model(), values.iter().map(|&v| Min(v)).collect(), 2).unwrap();
+    let run =
+        run_aggregation_default(model(), values.iter().map(|&v| Min(v)).collect(), 2).unwrap();
     assert_eq!(run.result, Some(Min(*values.iter().min().unwrap())));
 
-    let run = run_aggregation_default(model(), values.iter().map(|&v| Max(v)).collect(), 3).unwrap();
+    let run =
+        run_aggregation_default(model(), values.iter().map(|&v| Max(v)).collect(), 3).unwrap();
     assert_eq!(run.result, Some(Max(*values.iter().max().unwrap())));
 
     let run =
         run_aggregation_default(model(), values.iter().map(|_| Count(1)).collect(), 4).unwrap();
     assert_eq!(run.result, Some(Count(n as u64)));
 
-    let run = run_aggregation_default(
-        model(),
-        values.iter().map(|&v| MeanAcc::of(v)).collect(),
-        5,
-    )
-    .unwrap();
+    let run = run_aggregation_default(model(), values.iter().map(|&v| MeanAcc::of(v)).collect(), 5)
+        .unwrap();
     let mean = run.result.unwrap().mean();
     let truth = values.iter().sum::<u64>() as f64 / n as f64;
     assert!((mean - truth).abs() < 1e-9);

@@ -92,7 +92,10 @@ fn cogcast_scales_inversely_with_k() {
         let mut total = 0;
         for seed in 0..trials {
             let model = StaticChannels::local(shared_core(n, c, k).unwrap(), seed);
-            total += run_broadcast(model, seed, 10_000_000).unwrap().slots.unwrap();
+            total += run_broadcast(model, seed, 10_000_000)
+                .unwrap()
+                .slots
+                .unwrap();
         }
         total as f64 / trials as f64
     };
@@ -112,7 +115,10 @@ fn baseline_loses_by_roughly_factor_c() {
         let (mut ours, mut base) = (0u64, 0u64);
         for seed in 0..trials {
             let model = StaticChannels::local(shared_core(n, c, k).unwrap(), seed);
-            ours += run_broadcast(model, seed, 10_000_000).unwrap().slots.unwrap();
+            ours += run_broadcast(model, seed, 10_000_000)
+                .unwrap()
+                .slots
+                .unwrap();
             let model = StaticChannels::local(shared_core(n, c, k).unwrap(), seed + 50);
             base += run_baseline_broadcast(model, seed + 50, 10_000_000)
                 .unwrap()
@@ -124,7 +130,10 @@ fn baseline_loses_by_roughly_factor_c() {
     let r8 = ratio(8);
     let r16 = ratio(16);
     // The separation must grow with c (it is Θ(c) in theory).
-    assert!(r16 > r8, "speedup should grow with c: r8={r8:.1}, r16={r16:.1}");
+    assert!(
+        r16 > r8,
+        "speedup should grow with c: r8={r8:.1}, r16={r16:.1}"
+    );
     assert!(r8 > 2.0, "at c=8 the baseline should already lose: {r8:.1}");
 }
 

@@ -20,7 +20,10 @@ fn measured_cogcast_sits_between_floor_and_budget() {
         let mut total = 0u64;
         for seed in 0..trials {
             let model = StaticChannels::local(shared_core(n, c, k).unwrap(), seed);
-            total += run_broadcast(model, seed, 10_000_000).unwrap().slots.unwrap();
+            total += run_broadcast(model, seed, 10_000_000)
+                .unwrap()
+                .slots
+                .unwrap();
         }
         let mean = total as f64 / trials as f64;
         let floor = (c as f64 / k as f64) * (c as f64 / n as f64).max(1.0);
@@ -77,8 +80,16 @@ fn survival_curves_eventually_win() {
     let horizon = hitting_game_floor(c, k, 2.0) * 16;
     let uni = survival_curve(c, k, 200, horizon, 3, UniformPlayer::new);
     let fresh = survival_curve(c, k, 200, horizon, 4, FreshPlayer::new);
-    assert!(*uni.last().unwrap() > 0.5, "uniform never wins: {:?}", uni.last());
-    assert!(*fresh.last().unwrap() > 0.9, "fresh never wins: {:?}", fresh.last());
+    assert!(
+        *uni.last().unwrap() > 0.5,
+        "uniform never wins: {:?}",
+        uni.last()
+    );
+    assert!(
+        *fresh.last().unwrap() > 0.9,
+        "fresh never wins: {:?}",
+        fresh.last()
+    );
 }
 
 #[test]
@@ -112,7 +123,10 @@ fn hop_together_beats_cogcast_in_the_c_much_greater_n_regime() {
             .slots
             .unwrap();
         let model = StaticChannels::local(shared_core(n, c, k).unwrap(), seed);
-        cog_total += run_broadcast(model, seed, 1_000_000).unwrap().slots.unwrap();
+        cog_total += run_broadcast(model, seed, 1_000_000)
+            .unwrap()
+            .slots
+            .unwrap();
     }
     assert!(
         hop_total < cog_total,

@@ -60,7 +60,10 @@ fn jammed_broadcast_completes_near_effective_overlap_prediction() {
         jammed_total += run.slots.unwrap();
         let a = crn::sim::assignment::shared_core(n, c, c - 2 * j).unwrap();
         let model = crn::sim::channel_model::StaticChannels::local(a, seed);
-        proxy_total += run_broadcast(model, seed, 10_000_000).unwrap().slots.unwrap();
+        proxy_total += run_broadcast(model, seed, 10_000_000)
+            .unwrap()
+            .slots
+            .unwrap();
     }
     let ratio = jammed_total as f64 / proxy_total as f64;
     assert!(
@@ -90,7 +93,9 @@ fn dynamic_model_supports_full_protocol_stack() {
 fn whole_stack_is_deterministic() {
     let run_once = |seed: u64| {
         let model = DynamicSharedCore::new(16, 6, 2, 30, 0.5, seed).unwrap();
-        run_broadcast(model, seed, 100_000).unwrap().informed_per_slot
+        run_broadcast(model, seed, 100_000)
+            .unwrap()
+            .informed_per_slot
     };
     assert_eq!(run_once(7), run_once(7));
 

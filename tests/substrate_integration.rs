@@ -23,7 +23,10 @@ fn physical_stack_and_oracle_model_agree_on_slot_scale() {
     let mut physical_total = 0u64;
     for seed in 0..trials {
         let model = StaticChannels::local(shared_core(n, c, k).unwrap(), seed);
-        oracle_total += run_broadcast(model, seed, 10_000_000).unwrap().slots.unwrap();
+        oracle_total += run_broadcast(model, seed, 10_000_000)
+            .unwrap()
+            .slots
+            .unwrap();
 
         let sets: Vec<Vec<u32>> = (0..n)
             .map(|i| {
@@ -142,9 +145,16 @@ fn permuted_globals_do_not_change_cogcast_statistics() {
         for seed in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed + 500);
             let a = shared_core(n, c, k).unwrap();
-            let a = if permute { a.permute_globals(&mut rng) } else { a };
+            let a = if permute {
+                a.permute_globals(&mut rng)
+            } else {
+                a
+            };
             let model = StaticChannels::local(a, seed);
-            total += run_broadcast(model, seed, 10_000_000).unwrap().slots.unwrap();
+            total += run_broadcast(model, seed, 10_000_000)
+                .unwrap()
+                .slots
+                .unwrap();
         }
         total as f64 / trials as f64
     };

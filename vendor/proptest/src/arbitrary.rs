@@ -1,0 +1,80 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<u64>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_gen!(bool, u8, u16, u32, u64, u128, i8, i16, i32, i64, f32, f64);
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.gen::<u64>() as usize
+    }
+}
+
+impl Arbitrary for isize {
+    fn arbitrary(rng: &mut TestRng) -> isize {
+        rng.gen::<i64>() as isize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let s = any::<bool>();
+        let mut rng = case_rng("arbitrary::bool", 0);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn any_u64_varies() {
+        let s = any::<u64>();
+        let mut rng = case_rng("arbitrary::u64", 0);
+        let a = s.sample(&mut rng);
+        let b = s.sample(&mut rng);
+        assert_ne!(a, b);
+    }
+}

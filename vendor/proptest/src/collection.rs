@@ -1,0 +1,108 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A length specification for generated collections.
+///
+/// Converts from a fixed `usize`, a half-open `Range<usize>`, or an
+/// inclusive `RangeInclusive<usize>`, matching proptest's `SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi_inclusive)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            lo: len,
+            hi_inclusive: len,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = case_rng("collection::vec", 0);
+        let fixed = vec(0u32..5, 7usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 7);
+
+        let ranged = vec(0u32..5, 2..6);
+        for _ in 0..100 {
+            let v = ranged.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_vec() {
+        let mut rng = case_rng("collection::nested", 0);
+        let s = vec(vec(0u8..2, 3usize), 4usize);
+        let v = s.sample(&mut rng);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|inner| inner.len() == 3));
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace
+//! uses — the `proptest!`, `prop_assert!`, `prop_assert_eq!` and
+//! `prop_oneof!` macros, `Strategy` with `prop_map`/`prop_flat_map`,
+//! range / tuple / `Just` / `collection::vec` / `sample::select` /
+//! `any::<T>()` strategies, and `ProptestConfig::with_cases` — on top
+//! of a deterministic per-test RNG.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//! - **No shrinking.** A failing case reports the exact generated
+//!   inputs (every parameter is `Debug`-printed), which is enough to
+//!   paste into a unit test; it just won't be minimal.
+//! - **Fully deterministic.** Case `i` of test `t` always sees the same
+//!   inputs, derived from `(module_path!::test_name, i)`; there is no
+//!   wall-clock entropy, so CI and local runs explore identical cases.
+//! - **`proptest-regressions` files are not consulted.** Known bad
+//!   inputs must be pinned as explicit unit tests (this repo does).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current property case with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn` runs `config.cases` deterministic
+/// cases, sampling every parameter from its strategy.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                |__rng, __inputs| {
+                    $crate::__proptest_case!(__rng, __inputs, $body; $($params)*)
+                },
+            );
+        }
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, $inputs:ident, $body:block;) => {{
+        $body
+        ::core::result::Result::Ok(())
+    }};
+    // `name: Type` — implicit `any::<Type>()`.
+    ($rng:ident, $inputs:ident, $body:block;
+     $pname:ident : $pty:ty $(, $($rest:tt)*)?) => {{
+        let __value = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$pty>(),
+            $rng,
+        );
+        $inputs.push(format!("{} = {:?}", stringify!($pname), __value));
+        let $pname = __value;
+        $crate::__proptest_case!($rng, $inputs, $body; $($($rest)*)?)
+    }};
+    // `pattern in strategy`.
+    ($rng:ident, $inputs:ident, $body:block;
+     $pat:pat_param in $strategy:expr $(, $($rest:tt)*)?) => {{
+        let __value = $crate::strategy::Strategy::sample(&($strategy), $rng);
+        $inputs.push(format!("{} = {:?}", stringify!($pat), __value));
+        let $pat = __value;
+        $crate::__proptest_case!($rng, $inputs, $body; $($($rest)*)?)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..9,
+            b in -5i64..=5,
+            x in 0.25f64..4.0,
+            flag: bool,
+        ) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..4.0).contains(&x));
+            prop_assert!(flag || !flag);
+        }
+
+        #[test]
+        fn tuple_and_pattern_binding((n, c) in (1usize..5, 10u32..20)) {
+            prop_assert!(n >= 1 && n < 5);
+            prop_assert!((10..20).contains(&c));
+        }
+
+        #[test]
+        fn early_return_is_allowed(n in 0usize..10) {
+            if n == 0 {
+                return Ok(());
+            }
+            prop_assert!(n > 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_and_vec_sizes(
+            v in (1usize..6).prop_flat_map(|len| {
+                (Just(len), crate::collection::vec(0u32..100, len))
+            })
+        ) {
+            let (len, items) = v;
+            prop_assert_eq!(items.len(), len);
+            for &i in &items {
+                prop_assert!(i < 100);
+            }
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(choice in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&choice));
+        }
+
+        #[test]
+        fn select_picks_from_the_list(
+            x in crate::sample::select(vec!["a", "b", "c"])
+        ) {
+            prop_assert!(["a", "b", "c"].contains(&x));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_and_case() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let mut r1 = crate::test_runner::case_rng("t", 3);
+        let mut r2 = crate::test_runner::case_rng("t", 3);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        let mut r3 = crate::test_runner::case_rng("t", 4);
+        let a = s.sample(&mut r3);
+        let mut r4 = crate::test_runner::case_rng("u", 4);
+        let b = s.sample(&mut r4);
+        // Overwhelmingly likely to differ across case index / test name.
+        let mut r5 = crate::test_runner::case_rng("t", 3);
+        assert!(a != s.sample(&mut r5) || b != a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            #[test]
+            fn always_fails(n in 0usize..10) {
+                prop_assert!(n > 100, "n was {n}");
+            }
+        }
+        always_fails();
+    }
+}

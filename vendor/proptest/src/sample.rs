@@ -1,0 +1,51 @@
+//! Sampling strategies over explicit value lists
+//! (`proptest::sample::select`).
+
+use std::fmt::Debug;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy choosing uniformly from `options`; must be non-empty.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone + Debug> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn select_eventually_picks_everything() {
+        let s = select(vec![10, 20, 30]);
+        let mut rng = case_rng("sample::select", 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn empty_select_panics() {
+        select(Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,136 @@
+//! Case execution: config, deterministic per-case RNG, and failure
+//! reporting with the generated inputs attached.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single property case failed.
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion (what `prop_assert!` produces).
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias for [`TestCaseError::fail`], matching proptest's API.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl fmt::Debug for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Result type a property body evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG for case `case` of the test named `name`.
+///
+/// FNV-1a over the test path, mixed with the case index, so every test
+/// gets an independent, reproducible stream.
+pub fn case_rng(name: &str, case: u64) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Runs `config.cases` cases of one property, panicking (with the
+/// generated inputs) on the first failure.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut property: F)
+where
+    F: FnMut(&mut TestRng, &mut Vec<String>) -> TestCaseResult,
+{
+    for case in 0..config.cases as u64 {
+        let mut rng = case_rng(name, case);
+        let mut inputs: Vec<String> = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng, &mut inputs)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(err)) => panic!(
+                "property `{name}` failed at case {case}/{}\n  {err}\n  inputs: {{ {} }}",
+                config.cases,
+                inputs.join(", "),
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "property `{name}` panicked at case {case}/{}\n  inputs: {{ {} }}",
+                    config.cases,
+                    inputs.join(", "),
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rng_is_stable_for_same_inputs() {
+        use rand::Rng;
+        let a: u64 = case_rng("x::y", 0).gen();
+        let b: u64 = case_rng("x::y", 0).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_cases_runs_the_requested_count() {
+        let mut count = 0u32;
+        run_cases("counter", &ProptestConfig::with_cases(17), |_, _| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn run_cases_surfaces_failures() {
+        run_cases("failing", &ProptestConfig::with_cases(3), |_, inputs| {
+            inputs.push("n = 1".to_string());
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

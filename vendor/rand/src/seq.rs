@@ -1,0 +1,200 @@
+//! Sequence helpers: shuffling, choosing, and index sampling.
+
+use crate::{Rng, RngCore};
+
+/// Extension methods on slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, back to front).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns an iterator over `amount` distinct elements chosen
+    /// uniformly without replacement (in no particular order). If the
+    /// slice has fewer than `amount` elements, yields all of them.
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'a, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::uniform_below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[crate::uniform_below(rng, self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'a, T> {
+        let amount = amount.min(self.len());
+        let indices = index::sample(rng, self.len(), amount);
+        SliceChooseIter {
+            slice: self,
+            indices: indices.into_vec().into_iter(),
+        }
+    }
+}
+
+/// Iterator returned by [`SliceRandom::choose_multiple`].
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: std::vec::IntoIter<usize>,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        self.indices.next().map(|i| &self.slice[i])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.indices.size_hint()
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}
+
+/// Index sampling (subset of `rand::seq::index`).
+pub mod index {
+    use super::*;
+
+    /// A set of sampled indices.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// The sampled indices as a vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// True if no indices were sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, uniformly
+    /// without replacement (partial Fisher–Yates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from 0..{length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        let mut out = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = i + crate::uniform_below(rng, (length - i) as u64) as usize;
+            pool.swap(i, j);
+            out.push(pool[i]);
+        }
+        IndexVec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let set: HashSet<u32> = v.iter().copied().collect();
+        assert_eq!(set.len(), 50);
+        assert_ne!(v, (0..50).collect::<Vec<u32>>(), "50! shuffles are never identity");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = [1, 2, 3];
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.insert(*v.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_sized() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v: Vec<u32> = (0..20).collect();
+        for amount in [0usize, 1, 5, 20] {
+            let picks: Vec<u32> = v.choose_multiple(&mut rng, amount).copied().collect();
+            assert_eq!(picks.len(), amount);
+            let set: HashSet<u32> = picks.iter().copied().collect();
+            assert_eq!(set.len(), amount, "duplicates in sample");
+        }
+    }
+
+    #[test]
+    fn index_sample_uniformity_smoke() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..2000 {
+            for i in index::sample(&mut rng, 10, 3) {
+                counts[i] += 1;
+            }
+        }
+        // Each index expected 600 times; allow wide tolerance.
+        assert!(counts.iter().all(|&c| (400..800).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn index_sample_rejects_oversized() {
+        let mut rng = StdRng::seed_from_u64(5);
+        index::sample(&mut rng, 3, 4);
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline serde stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits for
+//! every type, so these derives have nothing to generate: they accept
+//! the item and expand to nothing. They exist so `#[derive(Serialize,
+//! Deserialize)]` keeps compiling exactly as written against real serde.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
