@@ -8,6 +8,8 @@
 #   2. the full test suite                           (tier-1)
 #   3. rustfmt in check mode
 #   4. clippy across the workspace with -D warnings
+#   5. a quick-effort end-to-end run of every experiment (smoke test
+#      for the harness + engine on real workloads; ~1 s)
 #
 # Everything is offline: external dependencies resolve to the stubs
 # under vendor/ (see Cargo.toml [workspace.dependencies]).
@@ -28,5 +30,8 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> experiments all --quick (smoke)"
+cargo run --release -q -p crn-bench --bin experiments -- all --quick > /dev/null
 
 echo "ci.sh: all green"

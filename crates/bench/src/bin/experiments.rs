@@ -8,9 +8,11 @@
 //! experiments --list
 //! ```
 
+use crn_bench::effort::{par_trials_static_chunked, par_trials_with_workers};
 use crn_bench::{run_experiment, Effort, EXPERIMENT_IDS};
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +41,11 @@ fn main() -> ExitCode {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let time_json = args
+        .iter()
+        .position(|a| a == "--time-json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
@@ -55,7 +62,11 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    let skip_values: Vec<&String> = out_path.iter().chain(csv_dir.iter()).collect();
+    let skip_values: Vec<&String> = out_path
+        .iter()
+        .chain(csv_dir.iter())
+        .chain(time_json.iter())
+        .collect();
     let mut ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--") && !skip_values.contains(a))
@@ -68,10 +79,13 @@ fn main() -> ExitCode {
         eprintln!("no experiments selected; try `experiments all --quick`");
         return ExitCode::FAILURE;
     }
+    let suite_start = Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for id in &ids {
         let start = std::time::Instant::now();
         match run_experiment(id, effort) {
             Some(artifact) => {
+                timings.push((id.clone(), start.elapsed().as_secs_f64() * 1000.0));
                 let footer = format!(
                     "[{} completed in {:.1}s at {:?} effort]\n",
                     id,
@@ -100,10 +114,87 @@ fn main() -> ExitCode {
             }
         }
     }
+    let suite_wall = suite_start.elapsed().as_secs_f64();
     if let Some(path) = out_path {
         eprintln!("results written to {path}");
     }
+    if let Some(path) = time_json {
+        if let Err(e) = std::fs::write(&path, time_report(effort, &timings, suite_wall)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("timings written to {path}");
+    }
     ExitCode::SUCCESS
+}
+
+/// End-to-end suite timings recorded at commit 769a573, before the
+/// work-stealing scheduler, the owned `SimRng` dispatch and the
+/// active-channel slot resolution landed. Quick mode then swept a grid
+/// *prefix* (small points only); it now sweeps first/middle/last, so
+/// the current quick suite covers the large grid points the old one
+/// skipped — wall-clock comparisons below are same-command, not
+/// same-work.
+const BASELINE_COMMIT: &str = "769a573";
+const BASELINE_TOTAL_S: f64 = 0.772;
+const BASELINE_MS: [(&str, f64); 25] = [
+    ("t1", 33.0),
+    ("t2", 126.0),
+    ("t3", 3.0),
+    ("t4", 3.0),
+    ("t5", 2.0),
+    ("t6", 272.0),
+    ("f1", 3.0),
+    ("f2", 3.0),
+    ("f3", 15.0),
+    ("f4", 3.0),
+    ("f5", 12.0),
+    ("f6", 21.0),
+    ("f7", 10.0),
+    ("f8", 5.0),
+    ("f9", 5.0),
+    ("f10", 2.0),
+    ("f11", 4.0),
+    ("f12", 5.0),
+    ("f13", 3.0),
+    ("f14", 3.0),
+    ("f15", 3.0),
+    ("a1", 50.0),
+    ("a2", 4.0),
+    ("a3", 147.0),
+    ("a4", 55.0),
+];
+
+/// Measures the scheduler head-to-head on a skewed sleep workload (the
+/// adversarial case for static chunking; sleep-based so the comparison
+/// holds even on a single-core box) and renders the full
+/// `BENCH_experiments.json` payload.
+fn time_report(effort: Effort, timings: &[(String, f64)], total_s: f64) -> String {
+    let skewed = |seed: u64| {
+        std::thread::sleep(Duration::from_millis(if seed < 4 { 40 } else { 1 }));
+        seed
+    };
+    let t0 = Instant::now();
+    par_trials_static_chunked(16, 4, skewed);
+    let static_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    par_trials_with_workers(16, 4, skewed);
+    let stealing_s = t0.elapsed().as_secs_f64();
+
+    let rows: Vec<String> = timings
+        .iter()
+        .map(|(id, ms)| format!("    {{\"id\": \"{id}\", \"ms\": {ms:.0}}}"))
+        .collect();
+    let baseline_rows: Vec<String> = BASELINE_MS
+        .iter()
+        .map(|(id, ms)| format!("      {{\"id\": \"{id}\", \"ms\": {ms:.0}}}"))
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"experiments_end_to_end\",\n  \"command\": \"experiments all --quick --time-json BENCH_experiments.json\",\n  \"effort\": \"{effort:?}\",\n  \"scheduler\": \"work-stealing (atomic seed counter, seed-keyed slots)\",\n  \"rng\": \"SimRng (owned xoshiro256++, stream-preserving vs. prior StdRng)\",\n  \"total_s\": {total_s:.3},\n  \"per_experiment\": [\n{}\n  ],\n  \"skewed_par_trials\": {{\n    \"workload\": \"16 trials, 4 workers; seeds 0-3 sleep 40 ms, rest 1 ms\",\n    \"static_chunked_s\": {static_s:.3},\n    \"work_stealing_s\": {stealing_s:.3},\n    \"speedup\": {:.2}\n  }},\n  \"baseline_before\": {{\n    \"commit\": \"{BASELINE_COMMIT}\",\n    \"note\": \"static-chunked scheduler, StdRng dispatch, prefix quick sweeps (smaller grid points than current quick mode)\",\n    \"total_s\": {BASELINE_TOTAL_S},\n    \"per_experiment\": [\n{}\n    ]\n  }}\n}}\n",
+        rows.join(",\n"),
+        static_s / stealing_s,
+        baseline_rows.join(",\n")
+    )
 }
 
 fn print_help() {
@@ -117,4 +208,7 @@ fn print_help() {
     println!("  --list       print the experiment ids");
     println!("  --out FILE   also write the rendered output to FILE");
     println!("  --csv DIR    also write each artifact as DIR/<id>.csv");
+    println!(
+        "  --time-json FILE  write per-experiment wall-clock timings (BENCH_experiments.json)"
+    );
 }

@@ -1,6 +1,8 @@
 //! Effort levels and the parallel trial runner.
 
 use serde::{Deserialize, Serialize};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How much work an experiment invocation spends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,11 +30,33 @@ impl Effort {
         }
     }
 
-    /// Caps a sweep list for quick runs (keeps a prefix).
+    /// Caps a sweep list for quick runs.
+    ///
+    /// Quick mode keeps a *spread* of the grid — first, middle and last
+    /// entries — not a prefix: grids are ordered small-to-large, and the
+    /// largest point is exactly where engine regressions hide, so a
+    /// quick run must still exercise it.
+    ///
+    /// ```
+    /// use crn_bench::Effort;
+    /// let grid = [16, 32, 64, 128, 256];
+    /// assert_eq!(Effort::Quick.sweep(&grid), vec![16, 64, 256]);
+    /// assert_eq!(Effort::Full.sweep(&grid), grid.to_vec());
+    /// ```
     pub fn sweep<T: Clone>(self, full: &[T]) -> Vec<T> {
         match self {
             Effort::Full => full.to_vec(),
-            Effort::Quick => full[..full.len().min(3)].to_vec(),
+            Effort::Quick => {
+                if full.len() <= 3 {
+                    full.to_vec()
+                } else {
+                    vec![
+                        full[0].clone(),
+                        full[full.len() / 2].clone(),
+                        full[full.len() - 1].clone(),
+                    ]
+                }
+            }
         }
     }
 }
@@ -58,12 +82,96 @@ pub fn par_trials<T: Send>(trials: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T>
     par_trials_with_workers(trials, workers, f)
 }
 
+/// One result slot, written by exactly one worker.
+///
+/// Safety: the index of each slot is claimed from an atomic counter by
+/// exactly one worker, which performs the only write; reads happen only
+/// after every worker has been joined. The `Sync` bound is therefore
+/// sound for any `T: Send`.
+struct TrialSlot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for TrialSlot<T> {}
+
 /// [`par_trials`] with an explicit worker count.
 ///
-/// Every trial is keyed by its seed, not by which worker ran it, so the
-/// returned vector is identical for any `workers >= 1` — the
-/// `results_independent_of_worker_count` test pins this down.
+/// The scheduler is work-stealing: workers claim the next unstarted seed
+/// from a shared atomic counter, so a mix of cheap `Done` trials and
+/// expensive `Timeout` trials never leaves cores idle the way static
+/// chunking does. Every trial is keyed by its seed, not by which worker
+/// ran it, so the returned vector is identical for any `workers >= 1` —
+/// the `results_independent_of_worker_count` test pins this down.
 pub fn par_trials_with_workers<T: Send>(
+    trials: usize,
+    workers: usize,
+    f: impl Fn(u64) -> T + Sync,
+) -> Vec<T> {
+    par_trials_with_worker_loads(trials, workers, f).0
+}
+
+/// [`par_trials_with_workers`], also returning how many trials each
+/// worker executed (`loads[w]` = trials claimed by worker `w`).
+///
+/// The loads depend on scheduling and are *not* deterministic — only the
+/// results are. They exist so stress tests can assert that the
+/// work-stealing scheduler actually spreads a skewed workload across all
+/// workers.
+pub fn par_trials_with_worker_loads<T: Send>(
+    trials: usize,
+    workers: usize,
+    f: impl Fn(u64) -> T + Sync,
+) -> (Vec<T>, Vec<usize>) {
+    let workers = workers.max(1).min(trials.max(1));
+    if workers <= 1 {
+        return ((0..trials as u64).map(f).collect(), vec![trials]);
+    }
+    let slots: Vec<TrialSlot<T>> = (0..trials)
+        .map(|_| TrialSlot(UnsafeCell::new(None)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let mut loads = vec![0usize; workers];
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (f, slots, next) = (&f, &slots, &next);
+                s.spawn(move || {
+                    let mut claimed = 0usize;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        let result = f(i as u64);
+                        // Safety: index `i` was claimed by this worker
+                        // alone (fetch_add hands out each value once).
+                        unsafe { *slots[i].0.get() = Some(result) };
+                        claimed += 1;
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        for (w, handle) in handles.into_iter().enumerate() {
+            loads[w] = handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.0.into_inner().expect("every seed was claimed"))
+        .collect();
+    (results, loads)
+}
+
+/// The pre-work-stealing scheduler: seeds split into contiguous static
+/// chunks, one per worker.
+///
+/// Kept (hidden) as the comparison baseline for the skewed-workload
+/// regression test and the `BENCH_experiments.json` numbers: when trial
+/// costs are skewed, the worker whose chunk holds the expensive seeds
+/// becomes the critical path while the rest go idle.
+#[doc(hidden)]
+pub fn par_trials_static_chunked<T: Send>(
     trials: usize,
     workers: usize,
     f: impl Fn(u64) -> T + Sync,
@@ -136,8 +244,39 @@ mod tests {
                 reference,
                 "results changed with {workers} workers"
             );
+            assert_eq!(
+                par_trials_static_chunked(23, workers, f),
+                reference,
+                "static baseline diverged with {workers} workers"
+            );
         }
         assert_eq!(par_trials(23, f), reference, "default worker count differs");
+    }
+
+    #[test]
+    fn worker_loads_cover_all_trials() {
+        let (xs, loads) = par_trials_with_worker_loads(40, 4, |s| s);
+        assert_eq!(xs, (0..40).collect::<Vec<_>>());
+        assert_eq!(loads.len(), 4);
+        assert_eq!(loads.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn worker_loads_single_worker() {
+        let (xs, loads) = par_trials_with_worker_loads(5, 1, |s| s);
+        assert_eq!(xs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(loads, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 3 exploded")]
+    fn worker_panics_propagate() {
+        par_trials_with_workers(8, 4, |s| {
+            if s == 3 {
+                panic!("trial 3 exploded");
+            }
+            s
+        });
     }
 
     #[test]
@@ -146,5 +285,17 @@ mod tests {
         assert!(Effort::Quick.trials(100) >= 2);
         assert_eq!(Effort::Quick.sweep(&[1, 2, 3, 4, 5]).len(), 3);
         assert_eq!(Effort::Full.sweep(&[1, 2, 3, 4, 5]).len(), 5);
+    }
+
+    #[test]
+    fn quick_sweep_keeps_first_middle_last() {
+        // The quick sweep must include the grid's extremes (especially
+        // the largest point, where engine regressions hide), not just a
+        // prefix.
+        assert_eq!(Effort::Quick.sweep(&[16, 32, 64, 128, 256]), [16, 64, 256]);
+        assert_eq!(Effort::Quick.sweep(&[1, 2, 3, 4]), [1, 3, 4]);
+        assert_eq!(Effort::Quick.sweep(&[1, 2, 3]), [1, 2, 3]);
+        assert_eq!(Effort::Quick.sweep(&[1, 2]), [1, 2]);
+        assert_eq!(Effort::Quick.sweep::<u32>(&[]), Vec::<u32>::new());
     }
 }

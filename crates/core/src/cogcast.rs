@@ -12,8 +12,8 @@
 //! and the run-time budget is its *only* dependence on `n` and `k`.
 
 use crate::bounds;
+use crn_sim::rng::SimRng;
 use crn_sim::{Action, Event, LocalChannel, NodeCtx, NodeId, Protocol};
-use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -173,7 +173,7 @@ impl<M: Clone> CogCast<M> {
 }
 
 impl<M: Clone + std::fmt::Debug> Protocol<M> for CogCast<M> {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<M> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<M> {
         if self.recording {
             // Keep records aligned to absolute slots even if earlier
             // slots were missed (fault windows suppress decide).

@@ -316,7 +316,7 @@ mod tests {
     use crate::aggregate::{Collect, Count, Max, Min, Sum};
     use crn_sim::assignment::{full_overlap, shared_core, OverlapPattern};
     use crn_sim::channel_model::StaticChannels;
-    use rand::rngs::StdRng;
+    use crn_sim::rng::SimRng;
     use rand::SeedableRng;
 
     fn sum_run(n: usize, c: usize, k: usize, seed: u64) -> AggregationRun<Sum> {
@@ -403,7 +403,7 @@ mod tests {
     #[test]
     fn works_across_overlap_patterns() {
         let (n, c, k) = (15, 6, 3);
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = SimRng::seed_from_u64(77);
         for pattern in OverlapPattern::ALL {
             let a = pattern.generate(n, c, k, &mut rng).unwrap();
             let model = StaticChannels::local(a, 21);

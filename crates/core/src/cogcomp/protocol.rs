@@ -22,8 +22,8 @@ use super::config::{CogCompConfig, PhaseAt};
 use super::msg::CogCompMsg;
 use crate::aggregate::Aggregate;
 use crate::cogcast::{Informed, SlotRecord};
+use crn_sim::rng::SimRng;
 use crn_sim::{Action, Event, LocalChannel, NodeCtx, NodeId, Protocol};
-use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -258,7 +258,7 @@ impl<V: Aggregate> CogComp<V> {
     // Phase one: COGCAST with recording.
     // ------------------------------------------------------------------
 
-    fn decide_phase1(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<CogCompMsg<V>> {
+    fn decide_phase1(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<CogCompMsg<V>> {
         // Keep the record slot-aligned across missed slots (fault
         // windows suppress decide; the rewind indexes by absolute
         // phase-one slot).
@@ -676,7 +676,7 @@ impl<V: Aggregate> CogComp<V> {
 }
 
 impl<V: Aggregate> Protocol<CogCompMsg<V>> for CogComp<V> {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<CogCompMsg<V>> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<CogCompMsg<V>> {
         match self.cfg.phase_at(ctx.slot) {
             PhaseAt::One(_) => self.decide_phase1(ctx, rng),
             PhaseAt::Two(_) => self.decide_phase2(ctx),

@@ -15,8 +15,8 @@
 //! pair of results brackets exactly how much adversarial power the
 //! model can absorb.
 
+use crn_sim::rng::SimRng;
 use crn_sim::{GlobalChannel, Intent, Interference, NodeId};
-use rand::rngs::StdRng;
 use std::collections::HashSet;
 
 /// An adaptive adversary that silences all communication: for every
@@ -57,7 +57,7 @@ impl SilencerJammer {
 }
 
 impl Interference for SilencerJammer {
-    fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {
+    fn advance(&mut self, _slot: u64, _rng: &mut SimRng) {
         self.targets.clear();
         self.transmitters.clear();
     }
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn jams_only_listeners_on_target_channels() {
         let mut j = SilencerJammer::new(2);
-        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = <SimRng as rand::SeedableRng>::seed_from_u64(0);
         j.advance(0, &mut rng);
         j.observe_intents(
             0,
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn budget_caps_targets() {
         let mut j = SilencerJammer::new(1);
-        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = <SimRng as rand::SeedableRng>::seed_from_u64(0);
         j.advance(0, &mut rng);
         j.observe_intents(
             0,

@@ -11,8 +11,8 @@
 //! sweep: oblivious-random, a rotating sweep, and a static targeted
 //! jammer.
 
+use crn_sim::rng::SimRng;
 use crn_sim::{GlobalChannel, Interference, NodeId};
-use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use serde::{Deserialize, Serialize};
 
@@ -93,7 +93,7 @@ impl UniformJammer {
 }
 
 impl Interference for UniformJammer {
-    fn advance(&mut self, slot: u64, rng: &mut StdRng) {
+    fn advance(&mut self, slot: u64, rng: &mut SimRng) {
         self.slot = slot;
         for node in 0..self.n {
             let mask = &mut self.jammed[node];
@@ -138,7 +138,7 @@ mod tests {
 
     fn advanced(strategy: JammerStrategy, slot: u64) -> UniformJammer {
         let mut j = UniformJammer::new(4, 8, 3, strategy);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         for s in 0..=slot {
             j.advance(s, &mut rng);
         }
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn random_changes_between_slots() {
         let mut j = UniformJammer::new(1, 32, 4, JammerStrategy::Random);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         j.advance(0, &mut rng);
         let first: Vec<bool> = (0..32u32)
             .map(|ch| j.is_jammed(NodeId(0), GlobalChannel(ch)))
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn zero_budget_never_jams() {
         let mut j = UniformJammer::new(2, 4, 0, JammerStrategy::Random);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         j.advance(0, &mut rng);
         for ch in 0..4u32 {
             assert!(!j.is_jammed(NodeId(0), GlobalChannel(ch)));

@@ -17,9 +17,9 @@
 //! [`crn_sim::Protocol`] runs here as-is.
 
 use crate::topology::Topology;
+use crn_sim::rng::SimRng;
 use crn_sim::rng::{derive_rng, streams};
 use crn_sim::{Action, ChannelModel, Event, GlobalChannel, NodeCtx, NodeId, Protocol, SimError};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A simulated multi-hop cognitive radio network.
@@ -46,8 +46,8 @@ pub struct MultihopNetwork<M, P, CM> {
     topology: Topology,
     model: CM,
     protocols: Vec<P>,
-    node_rngs: Vec<StdRng>,
-    engine_rng: StdRng,
+    node_rngs: Vec<SimRng>,
+    engine_rng: SimRng,
     slot: u64,
     _marker: std::marker::PhantomData<M>,
 }
@@ -220,7 +220,7 @@ mod tests {
     }
 
     impl Protocol<u8> for Fixed {
-        fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u8> {
+        fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u8> {
             self.action.clone()
         }
         fn observe(&mut self, _ctx: &NodeCtx<'_>, event: Event<u8>) {

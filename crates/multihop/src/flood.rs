@@ -208,9 +208,9 @@ mod tests {
 
     #[test]
     fn erdos_renyi_floods_when_connected() {
-        use rand::rngs::StdRng;
+        use crn_sim::rng::SimRng;
         use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         // p well above the ln(n)/n connectivity threshold.
         let topo = Topology::erdos_renyi(24, 0.4, &mut rng);
         if topo.is_connected() {
@@ -221,9 +221,9 @@ mod tests {
 
     #[test]
     fn unit_disk_floods_when_connected() {
-        use rand::rngs::StdRng;
+        use crn_sim::rng::SimRng;
         use rand::SeedableRng;
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SimRng::seed_from_u64(11);
         // Dense disk: almost surely connected.
         let topo = Topology::unit_disk(20, 0.6, &mut rng);
         if topo.is_connected() {

@@ -194,7 +194,7 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use crn_sim::rng::SimRng;
     use rand::SeedableRng;
 
     #[test]
@@ -251,7 +251,7 @@ mod tests {
 
     #[test]
     fn erdos_renyi_extremes() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let empty = Topology::erdos_renyi(10, 0.0, &mut rng);
         assert_eq!(empty.edge_count(), 0);
         let full = Topology::erdos_renyi(10, 1.0, &mut rng);
@@ -260,7 +260,7 @@ mod tests {
 
     #[test]
     fn erdos_renyi_density_tracks_p() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         let t = Topology::erdos_renyi(40, 0.25, &mut rng);
         let expected = (40 * 39 / 2) as f64 * 0.25;
         let got = t.edge_count() as f64;
@@ -272,14 +272,14 @@ mod tests {
 
     #[test]
     fn unit_disk_large_radius_is_complete() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let t = Topology::unit_disk(8, 2.0, &mut rng);
         assert_eq!(t.edge_count(), 28);
     }
 
     #[test]
     fn unit_disk_small_radius_is_sparse() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let t = Topology::unit_disk(30, 0.05, &mut rng);
         assert!(t.edge_count() < 30, "edges: {}", t.edge_count());
     }

@@ -5,9 +5,9 @@
 use crn_multihop::{MultihopNetwork, Topology};
 use crn_sim::assignment::full_overlap;
 use crn_sim::channel_model::StaticChannels;
+use crn_sim::rng::SimRng;
 use crn_sim::{Action, Event, LocalChannel, NodeCtx, Protocol};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
 
 #[derive(Debug, Clone, PartialEq)]
 enum Step {
@@ -24,7 +24,7 @@ struct Scripted {
 }
 
 impl Protocol<u32> for Scripted {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u32> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u32> {
         self.events.push(None);
         match self.script[ctx.slot as usize] {
             Step::Broadcast(ch) => {

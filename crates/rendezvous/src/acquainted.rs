@@ -17,10 +17,10 @@
 //!    channels and meet in **every** slot.
 
 use crn_sim::rng::derive_rng;
+use crn_sim::rng::SimRng;
 use crn_sim::{
     Action, ChannelModel, Event, GlobalChannel, LocalChannel, Network, NodeCtx, Protocol, SimError,
 };
-use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -49,7 +49,7 @@ pub enum AcqMsg {
 #[derive(Debug, Clone)]
 struct SharedSchedule {
     intersection: Vec<GlobalChannel>,
-    rng: StdRng,
+    rng: SimRng,
     /// The channel drawn for the current slot (drawn once per slot).
     drawn_for: Option<(u64, GlobalChannel)>,
 }
@@ -145,7 +145,7 @@ impl Acquainted {
 }
 
 impl Protocol<AcqMsg> for Acquainted {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<AcqMsg> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<AcqMsg> {
         // Acquainted regime: both sides draw the same shared channel.
         if let Some(shared) = self.shared.as_mut() {
             let g = shared.channel_for(ctx.slot);

@@ -18,10 +18,10 @@
 
 use crate::msg::BaselineMsg;
 use crn_core::aggregate::Aggregate;
+use crn_sim::rng::SimRng;
 use crn_sim::{
     Action, ChannelModel, Event, LocalChannel, Network, NodeCtx, NodeId, Protocol, SimError,
 };
-use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -78,7 +78,7 @@ impl<V: Aggregate> RendezvousAggregation<V> {
 }
 
 impl<V: Aggregate> Protocol<BaselineMsg<V>> for RendezvousAggregation<V> {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<BaselineMsg<V>> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<BaselineMsg<V>> {
         let meeting_slot = ctx.slot.is_multiple_of(2);
         if meeting_slot {
             self.current_channel = LocalChannel(rng.gen_range(0..ctx.c as u32));

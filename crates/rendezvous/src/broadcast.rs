@@ -9,8 +9,8 @@
 //! baseline needs `O((c²/k)·lg n)` slots instead of COGCAST's
 //! `O((c/k)·max{1, c/n}·lg n)`.
 
+use crn_sim::rng::SimRng;
 use crn_sim::{Action, ChannelModel, Event, LocalChannel, Network, NodeCtx, Protocol, SimError};
-use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -50,7 +50,7 @@ impl<M: Clone> RendezvousBroadcast<M> {
 }
 
 impl<M: Clone + std::fmt::Debug> Protocol<M> for RendezvousBroadcast<M> {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<M> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<M> {
         let ch = LocalChannel(rng.gen_range(0..ctx.c as u32));
         if self.is_source {
             Action::Broadcast(ch, self.message.clone().expect("source always informed"))

@@ -32,10 +32,10 @@
 //! channel — so any opposite-parity pair meets within `4cP =
 //! O(c·C)` slots. (The bound is verified by an exhaustive test.)
 
+use crn_sim::rng::SimRng;
 use crn_sim::{
     Action, ChannelModel, Event, GlobalChannel, LocalChannel, Network, NodeCtx, Protocol, SimError,
 };
-use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Returns the smallest prime `>= n` (and `>= 2`).
@@ -163,7 +163,7 @@ impl JumpStay {
 }
 
 impl Protocol<u8> for JumpStay {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u8> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u8> {
         let channels = ctx
             .channels
             .expect("deterministic rendezvous requires the global-label model");
@@ -321,7 +321,7 @@ mod tests {
     #[test]
     fn meets_within_horizon_on_random_assignments() {
         for seed in 0..25 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::seed_from_u64(seed);
             let a = random_with_core(2, 6, 2, 20, &mut rng).unwrap();
             let total = a.total_channels();
             let p = smallest_prime_geq(total) as u64;

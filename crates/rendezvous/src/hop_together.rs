@@ -11,8 +11,8 @@
 //! match COGCAST when `c ≫ n`. This algorithm is *impossible* under
 //! local labels, which is the gap between Theorems 15 and 16.
 
+use crn_sim::rng::SimRng;
 use crn_sim::{Action, ChannelModel, Event, GlobalChannel, Network, NodeCtx, Protocol, SimError};
-use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// A node of the hop-together broadcast. Requires the global-label
@@ -51,7 +51,7 @@ impl<M: Clone> HopTogether<M> {
 }
 
 impl<M: Clone + std::fmt::Debug> Protocol<M> for HopTogether<M> {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<M> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<M> {
         let channels = ctx
             .channels
             .expect("HopTogether requires the global-label model");

@@ -7,8 +7,8 @@
 //! `O(c²/k)` — the baseline figure the paper's introduction quotes for
 //! rendezvous-based protocols.
 
+use crn_sim::rng::SimRng;
 use crn_sim::{Action, ChannelModel, Event, LocalChannel, Network, NodeCtx, Protocol, SimError};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A node running uniform random channel hopping. Node 0 beacons; node 1
@@ -43,7 +43,7 @@ impl RandomHop {
 }
 
 impl Protocol<u8> for RandomHop {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<u8> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<u8> {
         let ch = LocalChannel(rng.gen_range(0..ctx.c as u32));
         if self.beaconer {
             Action::Broadcast(ch, 1)

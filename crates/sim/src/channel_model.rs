@@ -9,8 +9,8 @@
 use crate::assignment::ChannelAssignment;
 use crate::error::SimError;
 use crate::ids::GlobalChannel;
+use crate::rng::SimRng;
 use crate::rng::{derive_rng, streams};
-use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -168,7 +168,7 @@ pub struct DynamicSharedCore {
     k: usize,
     pool: usize,
     churn: f64,
-    rng: StdRng,
+    rng: SimRng,
     current: Vec<Vec<GlobalChannel>>,
 }
 

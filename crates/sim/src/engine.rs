@@ -24,9 +24,8 @@ use crate::error::SimError;
 use crate::ids::{GlobalChannel, NodeId};
 use crate::interference::Interference;
 use crate::proto::{Action, Event, NodeCtx, Protocol};
-use crate::rng::{derive_rng, streams};
+use crate::rng::{derive_rng, streams, SimRng};
 use crate::trace::{ChannelActivity, SlotActivity};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// The result of [`Network::run`].
@@ -76,11 +75,11 @@ impl RunOutcome {
 /// use crn_sim::channel_model::StaticChannels;
 /// use crn_sim::engine::NetworkBuilder;
 /// use crn_sim::{Action, Event, NodeCtx, Protocol};
-/// use rand::rngs::StdRng;
+/// use crn_sim::rng::SimRng;
 ///
 /// struct Quiet;
 /// impl Protocol<u8> for Quiet {
-///     fn decide(&mut self, _: &NodeCtx<'_>, _: &mut StdRng) -> Action<u8> { Action::Sleep }
+///     fn decide(&mut self, _: &NodeCtx<'_>, _: &mut SimRng) -> Action<u8> { Action::Sleep }
 ///     fn observe(&mut self, _: &NodeCtx<'_>, _: Event<u8>) {}
 /// }
 ///
@@ -171,12 +170,12 @@ where
 /// use crn_sim::assignment::full_overlap;
 /// use crn_sim::channel_model::StaticChannels;
 /// use crn_sim::{Action, Event, LocalChannel, Network, NodeCtx, Protocol};
-/// use rand::rngs::StdRng;
+/// use crn_sim::rng::SimRng;
 ///
 /// /// Node 0 shouts; everyone else listens on the only channel.
 /// struct Shout(bool);
 /// impl Protocol<u32> for Shout {
-///     fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u32> {
+///     fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u32> {
 ///         if ctx.id.index() == 0 {
 ///             Action::Broadcast(LocalChannel(0), 42)
 ///         } else {
@@ -202,9 +201,9 @@ where
 pub struct Network<M, P, CM> {
     model: CM,
     protocols: Vec<P>,
-    node_rngs: Vec<StdRng>,
-    engine_rng: StdRng,
-    jam_rng: StdRng,
+    node_rngs: Vec<SimRng>,
+    engine_rng: SimRng,
+    jam_rng: SimRng,
     interference: Option<Box<dyn Interference>>,
     slot: u64,
     activity: SlotActivity,
@@ -229,10 +228,18 @@ struct Scratch<M> {
     intents: Vec<crate::interference::Intent>,
     /// Phase B/C: `(channel, node, is_broadcast)`, sorted by channel.
     tuned: Vec<(GlobalChannel, usize, bool)>,
-    /// Phase B: staging buffer for the counting sort that orders `tuned`.
+    /// Phase B: staging buffer for the grouping pass that orders `tuned`.
     tuned_unsorted: Vec<(GlobalChannel, usize, bool)>,
-    /// Phase B: per-channel counts / running offsets for the counting sort.
-    chan_counts: Vec<u32>,
+    /// Sparse activity index: per global channel, the epoch (slot + 1)
+    /// that last touched it. A stale stamp means "inactive this slot",
+    /// so no per-slot clearing of the channel space is ever needed.
+    chan_epoch: Vec<u64>,
+    /// Per global channel, its slot in `active` (valid only when the
+    /// epoch stamp is current); reused as the running placement offset
+    /// during the grouping pass.
+    chan_pos: Vec<u32>,
+    /// The distinct channels touched this slot, with participant counts.
+    active: Vec<(GlobalChannel, u32)>,
     /// Phase C: per node, the winning node on its channel (if any).
     winners: Vec<Option<usize>>,
     /// Retired [`ChannelActivity`] records, indexed by global channel.
@@ -262,7 +269,9 @@ impl<M> Default for Scratch<M> {
             intents: Vec::new(),
             tuned: Vec::new(),
             tuned_unsorted: Vec::new(),
-            chan_counts: Vec::new(),
+            chan_epoch: Vec::new(),
+            chan_pos: Vec::new(),
+            active: Vec::new(),
             winners: Vec::new(),
             pool: Vec::new(),
         }
@@ -572,37 +581,54 @@ where
     /// Orders `scratch.tuned_unsorted` by global channel into
     /// `scratch.tuned`, ties broken by node id.
     ///
-    /// Uses a stable counting sort over the model's channel space when
-    /// that space is comparably sized to the participant list (the
-    /// common case), falling back to a comparison sort for very sparse
-    /// channel spaces. Both paths produce the identical ordering:
-    /// `tuned_unsorted` is filled in ascending node order and each node
-    /// appears at most once, so stability by channel equals sorting by
-    /// `(channel, node)`.
+    /// Cost is `O(T + A log A)` for `T` tuned nodes on `A` distinct
+    /// *active* channels — never proportional to the model's full
+    /// channel space `C`. An epoch stamp (`slot + 1`) marks the channels
+    /// touched this slot, so the per-channel arrays are neither cleared
+    /// nor scanned between slots; sparse slots (the common case in
+    /// COGCAST/COGCOMP and all rendezvous baselines) pay only for what
+    /// they touch. The ordering is identical to sorting by
+    /// `(channel, node)`: `tuned_unsorted` is filled in ascending node
+    /// order and each node appears at most once, so stable placement by
+    /// channel preserves node order within each group.
     fn sort_tuned_by_channel(&mut self) {
         let unsorted = &mut self.scratch.tuned_unsorted;
         let tuned = &mut self.scratch.tuned;
         tuned.clear();
+        // Sized to the channel space once (amortized; see tests/alloc.rs),
+        // then only the active entries are ever touched again.
         let total = self.model.total_channels();
-        if total > unsorted.len().saturating_mul(8).max(4096) {
-            tuned.append(unsorted);
-            tuned.sort_unstable_by_key(|&(ch, node, _)| (ch, node));
-            return;
+        if self.scratch.chan_epoch.len() < total {
+            self.scratch.chan_epoch.resize(total, 0);
+            self.scratch.chan_pos.resize(total, 0);
         }
-        let counts = &mut self.scratch.chan_counts;
-        counts.clear();
-        counts.resize(total + 1, 0);
+        let epoch = self.slot + 1; // stamps start at 0, so epoch 0 never matches
+        let active = &mut self.scratch.active;
+        active.clear();
         for &(ch, _, _) in unsorted.iter() {
-            counts[ch.index() + 1] += 1;
+            let ci = ch.index();
+            if self.scratch.chan_epoch[ci] == epoch {
+                active[self.scratch.chan_pos[ci] as usize].1 += 1;
+            } else {
+                self.scratch.chan_epoch[ci] = epoch;
+                self.scratch.chan_pos[ci] = active.len() as u32;
+                active.push((ch, 1));
+            }
         }
-        for i in 1..counts.len() {
-            counts[i] += counts[i - 1];
+        // Winner draws consume the engine stream in ascending channel
+        // order, so the active set must be resolved sorted.
+        active.sort_unstable_by_key(|&(ch, _)| ch);
+        let mut offset = 0u32;
+        for &(ch, count) in active.iter() {
+            self.scratch.chan_pos[ch.index()] = offset;
+            offset += count;
         }
         tuned.resize(unsorted.len(), (GlobalChannel(0), 0, false));
         for &entry in unsorted.iter() {
-            let at = counts[entry.0.index()];
+            let ci = entry.0.index();
+            let at = self.scratch.chan_pos[ci];
             tuned[at as usize] = entry;
-            counts[entry.0.index()] = at + 1;
+            self.scratch.chan_pos[ci] = at + 1;
         }
     }
 
@@ -664,7 +690,7 @@ mod tests {
     }
 
     impl Protocol<u32> for Scripted {
-        fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u32> {
+        fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u32> {
             let a = self.script[self.at % self.script.len()].clone();
             self.at += 1;
             a
@@ -862,7 +888,7 @@ mod tests {
         /// Jams global channel 0 for node 1 only.
         struct JamOneForOne;
         impl Interference for JamOneForOne {
-            fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {}
+            fn advance(&mut self, _slot: u64, _rng: &mut SimRng) {}
             fn is_jammed(&self, node: NodeId, channel: GlobalChannel) -> bool {
                 node == NodeId(1) && channel == GlobalChannel(0)
             }
@@ -899,7 +925,7 @@ mod tests {
         // Adaptive hook sanity: intents carry the committed tunings.
         struct CaptureIntents(std::sync::Arc<std::sync::Mutex<Vec<Intent>>>);
         impl Interference for CaptureIntents {
-            fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {}
+            fn advance(&mut self, _slot: u64, _rng: &mut SimRng) {}
             fn observe_intents(&mut self, _slot: u64, intents: &[Intent]) {
                 self.0.lock().unwrap().extend_from_slice(intents);
             }

@@ -9,7 +9,7 @@
 //! was powered down.
 
 use crate::proto::{Action, Event, NodeCtx, Protocol};
-use rand::rngs::StdRng;
+use crate::rng::SimRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -49,14 +49,14 @@ impl FaultSchedule {
     /// ```
     /// use crn_sim::faults::FaultSchedule;
     /// use rand::SeedableRng;
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    /// let mut rng = crn_sim::rng::SimRng::seed_from_u64(0);
     /// let w = FaultSchedule::Window { from: 5, to: 8 };
     /// assert!(!w.is_down(4, &mut rng));
     /// assert!(w.is_down(5, &mut rng));
     /// assert!(w.is_down(7, &mut rng));
     /// assert!(!w.is_down(8, &mut rng));
     /// ```
-    pub fn is_down(&self, slot: u64, rng: &mut StdRng) -> bool {
+    pub fn is_down(&self, slot: u64, rng: &mut SimRng) -> bool {
         match *self {
             FaultSchedule::None => false,
             FaultSchedule::Random { p } => p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0)),
@@ -115,7 +115,7 @@ impl<P> Flaky<P> {
 }
 
 impl<M, P: Protocol<M>> Protocol<M> for Flaky<P> {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<M> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<M> {
         self.down_this_slot = self.schedule.is_down(ctx.slot, rng);
         if self.down_this_slot {
             self.downtime += 1;
@@ -150,7 +150,7 @@ mod tests {
     }
 
     impl Protocol<u8> for Probe {
-        fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u8> {
+        fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u8> {
             self.decides += 1;
             Action::Listen(LocalChannel(0))
         }
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn window_schedule_boundaries() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         let s = FaultSchedule::Window { from: 2, to: 4 };
         let up: Vec<bool> = (0..6).map(|t| s.is_down(t, &mut rng)).collect();
         assert_eq!(up, vec![false, false, true, true, false, false]);
@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn periodic_schedule_cycles() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         let s = FaultSchedule::Periodic { period: 4, down: 1 };
         let down: Vec<bool> = (0..8).map(|t| s.is_down(t, &mut rng)).collect();
         assert_eq!(
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn periodic_down_capped_at_period() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         let s = FaultSchedule::Periodic { period: 3, down: 9 };
         assert!((0..9).all(|t| s.is_down(t, &mut rng)), "always down");
         let s0 = FaultSchedule::Periodic { period: 0, down: 1 };
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn random_schedule_rate_is_plausible() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let s = FaultSchedule::Random { p: 0.3 };
         let downs = (0..10_000).filter(|&t| s.is_down(t, &mut rng)).count();
         assert!((2500..3500).contains(&downs), "rate off: {downs}");
@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn down_slots_bypass_inner_protocol() {
         let mut f = Flaky::new(Probe::default(), FaultSchedule::Window { from: 0, to: 3 });
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         for slot in 0..5u64 {
             let action = f.decide(&ctx(slot), &mut rng);
             if slot < 3 {
@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn none_schedule_is_transparent() {
         let mut f = Flaky::new(Probe::default(), FaultSchedule::None);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         for slot in 0..4u64 {
             f.decide(&ctx(slot), &mut rng);
             f.observe(&ctx(slot), Event::Silence);

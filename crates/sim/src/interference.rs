@@ -10,7 +10,7 @@
 //! [`crate::Event::Jammed`]).
 
 use crate::ids::{GlobalChannel, NodeId};
-use rand::rngs::StdRng;
+use crate::rng::SimRng;
 
 /// A node's committed tuning for the current slot, as visible to an
 /// *adaptive* adversary just before resolution.
@@ -38,7 +38,7 @@ pub struct Intent {
 pub trait Interference {
     /// Advances the adversary to `slot` (e.g. drawing this slot's jam
     /// sets). Called once per slot before any `is_jammed` query.
-    fn advance(&mut self, slot: u64, rng: &mut StdRng);
+    fn advance(&mut self, slot: u64, rng: &mut SimRng);
 
     /// Adaptive hook: called after every node has committed its action
     /// for `slot` (and after [`Interference::advance`]), before any
@@ -65,7 +65,7 @@ pub trait Interference {
 pub struct NoInterference;
 
 impl Interference for NoInterference {
-    fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {}
+    fn advance(&mut self, _slot: u64, _rng: &mut SimRng) {}
     fn is_jammed(&self, _node: NodeId, _channel: GlobalChannel) -> bool {
         false
     }
@@ -79,7 +79,7 @@ mod tests {
     #[test]
     fn no_interference_never_jams() {
         let mut m = NoInterference;
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         for slot in 0..5 {
             m.advance(slot, &mut rng);
             for node in 0..4 {

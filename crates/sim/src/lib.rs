@@ -24,7 +24,7 @@
 //! use crn_sim::assignment::shared_core;
 //! use crn_sim::channel_model::StaticChannels;
 //! use crn_sim::{Action, Event, LocalChannel, Network, NodeCtx, Protocol};
-//! use rand::rngs::StdRng;
+//! use crn_sim::rng::SimRng;
 //! use rand::Rng;
 //!
 //! /// Every node hops uniformly; node 0 transmits, others listen.
@@ -32,7 +32,7 @@
 //!     heard: bool,
 //! }
 //! impl Protocol<u8> for Hop {
-//!     fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<u8> {
+//!     fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<u8> {
 //!         let ch = LocalChannel(rng.gen_range(0..ctx.c as u32));
 //!         if ctx.id.index() == 0 {
 //!             Action::Broadcast(ch, 1)
@@ -82,5 +82,6 @@ pub use faults::{FaultSchedule, Flaky};
 pub use ids::{GlobalChannel, LocalChannel, NodeId};
 pub use interference::{Intent, Interference, NoInterference};
 pub use proto::{Action, Event, NodeCtx, Protocol};
+pub use rng::{derive_rng, mix_seed, SimRng};
 pub use sensing::{sense_assignment, SensingReport, SpectrumConfig};
-pub use trace::{ChannelActivity, SlotActivity, TraceLog};
+pub use trace::{ChannelActivity, SlotActivity, TraceDigest, TraceLog};

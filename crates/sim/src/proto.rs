@@ -7,7 +7,7 @@
 //! the paper's collision model, and reports the resulting [`Event`] back.
 
 use crate::ids::{GlobalChannel, LocalChannel, NodeId};
-use rand::rngs::StdRng;
+use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// What a node chooses to do in one slot.
@@ -148,11 +148,11 @@ impl<'a> NodeCtx<'a> {
 ///
 /// ```
 /// use crn_sim::{Action, Event, LocalChannel, NodeCtx, Protocol};
-/// use rand::rngs::StdRng;
+/// use crn_sim::rng::SimRng;
 ///
 /// struct AlwaysListen;
 /// impl Protocol<u8> for AlwaysListen {
-///     fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u8> {
+///     fn decide(&mut self, _ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u8> {
 ///         Action::Listen(LocalChannel(0))
 ///     }
 ///     fn observe(&mut self, _ctx: &NodeCtx<'_>, _event: Event<u8>) {}
@@ -160,7 +160,7 @@ impl<'a> NodeCtx<'a> {
 /// ```
 pub trait Protocol<M> {
     /// Chooses this node's action for the current slot.
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<M>;
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<M>;
 
     /// Reports the outcome of the slot to the node.
     fn observe(&mut self, ctx: &NodeCtx<'_>, event: Event<M>);

@@ -1,13 +1,22 @@
-//! Deterministic seed derivation.
+//! Deterministic seed derivation and the simulator's own fast RNG.
 //!
 //! Every run of the simulator is fully determined by a single `u64` master
 //! seed. Per-node, per-trial and per-subsystem RNGs are derived from the
 //! master seed with a SplitMix64-style mix so that streams are independent
 //! and *stable*: adding a node or a trial never perturbs the randomness of
-//! the others.
+//! the others. See `docs/RNG_STREAMS.md` for the full stream map and the
+//! seed-stability contract.
+//!
+//! The generator itself, [`SimRng`], is a fully-owned xoshiro256++
+//! implementation: the engine's hot paths (every `decide()` call, every
+//! contention-winner draw) go through it, so `crn-sim` must control its
+//! exact state layout and inlining rather than depend on whatever the
+//! `rand` dependency's `StdRng` happens to be (upstream it is ChaCha12,
+//! an order of magnitude slower per draw than xoshiro256++). The stream
+//! for a given `(master, stream)` pair is pinned by the known-answer
+//! tests below and by the golden-trace digest test in `crn-core`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 /// Mixes a master seed with a stream index into a new 64-bit seed.
 ///
@@ -33,7 +42,97 @@ pub fn mix_seed(master: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Creates a [`StdRng`] for the given `(master, stream)` pair.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The simulator's generator: xoshiro256++ (Blackman & Vigna), seeded by
+/// SplitMix64 expansion of a 64-bit seed.
+///
+/// 4×`u64` of state, one rotate-add-xor round per draw, and a period of
+/// 2²⁵⁶ − 1 — statistically strong for Monte Carlo use and an order of
+/// magnitude cheaper per `u64` than a cryptographic stream cipher. All
+/// engine randomness (per-node protocol streams, the contention-winner
+/// stream, the jammer stream) flows through this type via [`derive_rng`].
+///
+/// The raw 64-bit output stream for a fixed seed is pinned: recorded
+/// experiment artifacts and the golden-trace digest test depend on it.
+///
+/// # Examples
+///
+/// ```
+/// use crn_sim::rng::Xoshiro256PlusPlus;
+/// use rand::{Rng, SeedableRng};
+/// let mut r = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let x = r.gen_range(0..10u32);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// The next 64 random bits.
+    ///
+    /// Inherent (as well as via [`RngCore`]) so hot paths need no trait
+    /// dispatch or imports.
+    #[inline(always)]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    /// Expands `state` into the four state words with SplitMix64, so
+    /// nearby seeds give unrelated streams.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // xoshiro's all-zero state is a fixed point; SplitMix64 cannot
+        // produce four zero words from any input, but guard anyway.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256PlusPlus::next_u64(self)
+    }
+}
+
+/// The concrete RNG type handed to protocols, interference models and the
+/// engine itself.
+///
+/// An alias so call sites name the *role* (simulator randomness) rather
+/// than the algorithm; swapping the generator is a one-line change here
+/// plus a reviewed golden-digest update.
+pub type SimRng = Xoshiro256PlusPlus;
+
+/// Creates a [`SimRng`] for the given `(master, stream)` pair.
 ///
 /// # Examples
 ///
@@ -44,11 +143,16 @@ pub fn mix_seed(master: u64, stream: u64) -> u64 {
 /// let mut r2 = derive_rng(7, 0);
 /// assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
 /// ```
-pub fn derive_rng(master: u64, stream: u64) -> StdRng {
-    StdRng::seed_from_u64(mix_seed(master, stream))
+pub fn derive_rng(master: u64, stream: u64) -> SimRng {
+    SimRng::seed_from_u64(mix_seed(master, stream))
 }
 
 /// Well-known stream indices so subsystems never collide.
+///
+/// The seed-stability contract: every stream is derived from
+/// `(master, stream_index)` only — never from how many nodes, trials or
+/// subsystems exist — so adding a node or a trial never perturbs the
+/// randomness of the others. `docs/RNG_STREAMS.md` documents each index.
 pub mod streams {
     /// Stream used by the engine itself (contention winner selection).
     pub const ENGINE: u64 = 0xE46;
@@ -112,5 +216,58 @@ mod tests {
         let mut r_small = derive_rng(5, streams::NODE_BASE + 3);
         let mut r_large = derive_rng(5, streams::NODE_BASE + 3);
         assert_eq!(r_small.gen::<u64>(), r_large.gen::<u64>());
+    }
+
+    #[test]
+    fn sim_rng_matches_vendored_std_rng_streams() {
+        // The switch from the previous `rand::rngs::StdRng`-based
+        // derivation to the owned SimRng was made stream-preserving:
+        // identical algorithm (xoshiro256++) and identical SplitMix64
+        // seed expansion, so every recorded artifact and pinned
+        // regression stays byte-identical. This test keeps the two
+        // implementations locked together for as long as the vendored
+        // stub remains xoshiro-based.
+        use rand::rngs::StdRng;
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let mut ours = SimRng::seed_from_u64(seed);
+            let mut theirs = StdRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                assert_eq!(ours.next_u64(), rand::RngCore::next_u64(&mut theirs));
+            }
+        }
+    }
+
+    #[test]
+    fn sim_rng_known_answer() {
+        // Pin the exact output stream: the golden-trace digest and every
+        // recorded experiment artifact depend on this sequence. Changing
+        // the generator means updating these constants *and* the digest
+        // in crn-core's golden_trace test, as a reviewed decision.
+        let mut r = SimRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                0x53175d61490b23df,
+                0x61da6f3dc380d507,
+                0x5c0fdf91ec9a7bfc,
+                0x02eebf8c3bbe5e1a,
+            ]
+        );
+    }
+
+    #[test]
+    fn sim_rng_gen_range_is_unbiased_smoke() {
+        let mut r = derive_rng(9, streams::ENGINE);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[r.gen_range(0..7usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (9000..=11000).contains(&c),
+                "bucket {i} badly skewed: {c}/70000"
+            );
+        }
     }
 }

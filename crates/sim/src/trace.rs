@@ -63,6 +63,83 @@ impl SlotActivity {
     }
 }
 
+/// A streaming FNV-1a digest over full [`SlotActivity`] records.
+///
+/// Folds every field of every slot — channel ids, broadcaster sets,
+/// winners, listener sets, sleeper and jam counts — into one `u64`, so a
+/// single constant in a test pins the engine's complete observable
+/// behavior for a fixed configuration. The golden-trace test in
+/// `crn-core` uses this to turn any engine or RNG change into a
+/// deliberate, reviewed digest update instead of silent drift.
+///
+/// # Examples
+///
+/// ```
+/// use crn_sim::trace::{SlotActivity, TraceDigest};
+/// let mut a = TraceDigest::new();
+/// let mut b = TraceDigest::new();
+/// a.record(&SlotActivity::default());
+/// b.record(&SlotActivity::default());
+/// assert_eq!(a.finish(), b.finish());
+/// assert_ne!(a.finish(), TraceDigest::new().finish());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDigest {
+    hash: u64,
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        TraceDigest::new()
+    }
+}
+
+impl TraceDigest {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// An empty digest (FNV-1a offset basis).
+    pub fn new() -> Self {
+        TraceDigest {
+            hash: Self::FNV_OFFSET,
+        }
+    }
+
+    #[inline]
+    fn mix(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.hash ^= byte as u64;
+            self.hash = self.hash.wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    /// Folds one slot's complete activity record into the digest.
+    pub fn record(&mut self, activity: &SlotActivity) {
+        self.mix(activity.slot);
+        self.mix(activity.sleepers as u64);
+        self.mix(activity.jammed as u64);
+        self.mix(activity.channels.len() as u64);
+        for ch in &activity.channels {
+            self.mix(ch.channel.index() as u64);
+            self.mix(ch.broadcasters.len() as u64);
+            for b in &ch.broadcasters {
+                self.mix(b.index() as u64);
+            }
+            // Distinguish "no winner" from "winner 0".
+            self.mix(ch.winner.map_or(u64::MAX, |w| w.index() as u64));
+            self.mix(ch.listeners.len() as u64);
+            for l in &ch.listeners {
+                self.mix(l.index() as u64);
+            }
+        }
+    }
+
+    /// The digest over everything recorded so far.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
 /// An accumulating log of per-slot activity with physical-layer
 /// statistics — the observability layer experiments use to explain
 /// *why* a protocol was fast or slow.
@@ -258,6 +335,30 @@ mod tests {
         assert!((log.collision_rate() - 1.0 / 3.0).abs() < 1e-12);
         // 3 transmissions, 1 delivered to a listener.
         assert!((log.delivery_efficiency() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_order_sensitive() {
+        let mut a = TraceDigest::new();
+        a.record(&sample());
+        let mut b = TraceDigest::new();
+        b.record(&sample());
+        assert_eq!(a.finish(), b.finish());
+        // A different winner must change the digest.
+        let mut changed = sample();
+        changed.channels[0].winner = Some(NodeId(1));
+        let mut c = TraceDigest::new();
+        c.record(&changed);
+        assert_ne!(a.finish(), c.finish());
+        // "No winner" differs from "winner 0".
+        let mut none_winner = sample();
+        none_winner.channels[0].winner = None;
+        let mut zero_winner = sample();
+        zero_winner.channels[0].winner = Some(NodeId(0));
+        let (mut dn, mut dz) = (TraceDigest::new(), TraceDigest::new());
+        dn.record(&none_winner);
+        dz.record(&zero_winner);
+        assert_ne!(dn.finish(), dz.finish());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use crn_sim::assignment::shared_core;
 use crn_sim::channel_model::StaticChannels;
 use crn_sim::interference::Interference;
+use crn_sim::rng::SimRng;
 use crn_sim::{Action, Event, GlobalChannel, LocalChannel, Network, NodeCtx, NodeId, Protocol};
-use rand::rngs::StdRng;
 use rand::Rng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,7 +50,7 @@ struct Hopper {
 }
 
 impl Protocol<u8> for Hopper {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut StdRng) -> Action<u8> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, rng: &mut SimRng) -> Action<u8> {
         let ch = LocalChannel(rng.gen_range(0..ctx.c as u32));
         if self.informed {
             Action::Broadcast(ch, 0xAB)
@@ -73,7 +73,7 @@ struct AlternatingJammer {
 }
 
 impl Interference for AlternatingJammer {
-    fn advance(&mut self, slot: u64, _rng: &mut StdRng) {
+    fn advance(&mut self, slot: u64, _rng: &mut SimRng) {
         self.odd_slot = slot % 2 == 1;
     }
 

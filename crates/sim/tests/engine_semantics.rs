@@ -14,9 +14,9 @@
 
 use crn_sim::assignment::full_overlap;
 use crn_sim::channel_model::StaticChannels;
+use crn_sim::rng::SimRng;
 use crn_sim::{Action, Event, LocalChannel, Network, NodeCtx, NodeId, Protocol, SlotActivity};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
 
 /// A scripted action: what one node does in one slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,7 +34,7 @@ struct Scripted {
 }
 
 impl Protocol<u32> for Scripted {
-    fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u32> {
+    fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u32> {
         self.events.push(None);
         match self.script[ctx.slot as usize] {
             // Message payload encodes (node, slot) so deliveries can be
@@ -82,7 +82,7 @@ fn jammed_broadcaster_never_delivers_and_never_wins() {
     /// Permanently jams node 0 on global channel 0.
     struct JamSource;
     impl Interference for JamSource {
-        fn advance(&mut self, _slot: u64, _rng: &mut StdRng) {}
+        fn advance(&mut self, _slot: u64, _rng: &mut SimRng) {}
         fn is_jammed(&self, node: NodeId, channel: GlobalChannel) -> bool {
             node == NodeId(0) && channel == GlobalChannel(0)
         }
@@ -158,7 +158,7 @@ fn local_labels_never_expose_global_channel_ids() {
         saw_channels: Vec<bool>,
     }
     impl Protocol<u8> for CtxSpy {
-        fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut StdRng) -> Action<u8> {
+        fn decide(&mut self, ctx: &NodeCtx<'_>, _rng: &mut SimRng) -> Action<u8> {
             self.saw_channels.push(ctx.channels.is_some());
             Action::Broadcast(LocalChannel(0), 1)
         }
