@@ -10,6 +10,12 @@
 #   4. clippy across the workspace with -D warnings
 #   5. a quick-effort end-to-end run of every experiment (smoke test
 #      for the harness + engine on real workloads; ~1 s)
+#   6. the differential model-conformance suite, quick profile (the
+#      Section 2 validator over property-generated workloads plus the
+#      oracle-vs-physical and oracle-vs-multihop cross-checks)
+#   7. the same experiment smoke with the in-step validator compiled
+#      in (--features validate), so every slot of every experiment is
+#      checked against the model contract end to end
 #
 # Everything is offline: external dependencies resolve to the stubs
 # under vendor/ (see Cargo.toml [workspace.dependencies]).
@@ -33,5 +39,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> experiments all --quick (smoke)"
 cargo run --release -q -p crn-bench --bin experiments -- all --quick > /dev/null
+
+echo "==> conformance --quick (differential suite)"
+cargo run --release -q -p crn-bench --bin conformance -- --quick
+
+echo "==> experiments all --quick with the in-step validator (smoke)"
+cargo run --release -q -p crn-bench --features validate --bin experiments -- all --quick > /dev/null
 
 echo "ci.sh: all green"

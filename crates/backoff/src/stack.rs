@@ -53,6 +53,31 @@ impl PhysicalRun {
     }
 }
 
+/// Builds the shared-core channel assignment used by the physical-stack
+/// experiments and the conformance suite: `k` core channels (`0..k`)
+/// held by everyone, plus `c - k` private channels per node, disjoint
+/// across nodes. The same shape as `crn_sim::assignment::shared_core`,
+/// expressed as raw global ids for [`run_physical_broadcast`].
+///
+/// # Examples
+///
+/// ```
+/// use crn_backoff::stack::shared_core_sets;
+/// let sets = shared_core_sets(3, 4, 2);
+/// assert_eq!(sets[0], vec![0, 1, 2, 3]);
+/// assert_eq!(sets[1], vec![0, 1, 4, 5]);
+/// ```
+pub fn shared_core_sets(n: usize, c: usize, k: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|i| {
+            let mut s: Vec<u32> = (0..k as u32).collect();
+            let base = (k + i * (c - k)) as u32;
+            s.extend(base..base + (c - k) as u32);
+            s
+        })
+        .collect()
+}
+
 /// Runs COGCAST for local broadcast over the physical radio.
 ///
 /// `channel_sets[i]` lists node `i`'s channels as global ids (the
@@ -170,17 +195,6 @@ pub fn run_physical_broadcast(channel_sets: &[Vec<u32>], seed: u64, max_slots: u
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn shared_core_sets(n: usize, c: usize, k: usize) -> Vec<Vec<u32>> {
-        (0..n)
-            .map(|i| {
-                let mut s: Vec<u32> = (0..k as u32).collect();
-                let base = (k + i * (c - k)) as u32;
-                s.extend(base..base + (c - k) as u32);
-                s
-            })
-            .collect()
-    }
 
     #[test]
     fn completes_on_single_shared_channel() {

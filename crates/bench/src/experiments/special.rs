@@ -103,7 +103,7 @@ pub fn f10(effort: Effort) -> Series {
 /// abstract-slot counts must agree (same protocol, same workload); the
 /// physical stack additionally pays `O(log² n)` rounds per slot.
 pub fn f14(effort: Effort) -> Table {
-    use crn_backoff::stack::run_physical_broadcast;
+    use crn_backoff::stack::{run_physical_broadcast, shared_core_sets};
     let (c, k) = (6usize, 2usize);
     let ns: &[usize] = &[8, 16, 32, 64];
     let trials = effort.trials(15);
@@ -126,14 +126,7 @@ pub fn f14(effort: Effort) -> Table {
                 .slots
                 .expect("completes")
         });
-        let sets: Vec<Vec<u32>> = (0..n)
-            .map(|i| {
-                let mut s: Vec<u32> = (0..k as u32).collect();
-                let base = (k + i * (c - k)) as u32;
-                s.extend(base..base + (c - k) as u32);
-                s
-            })
-            .collect();
+        let sets = shared_core_sets(n, c, k);
         let runs = crate::effort::par_trials(trials, |seed| {
             let run = run_physical_broadcast(&sets, seed, 10_000_000);
             assert!(run.completed(), "physical n={n} seed={seed}");

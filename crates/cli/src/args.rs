@@ -16,7 +16,9 @@ impl Opts {
     ///
     /// # Errors
     ///
-    /// Returns an error message for malformed flags (e.g. `---x`).
+    /// Returns an error message for malformed flags (e.g. `---x`) and
+    /// for a flag given more than once (a silent last-one-wins would
+    /// hide the user's mistake).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut opts = Opts::default();
         let mut iter = args.into_iter().peekable();
@@ -29,12 +31,41 @@ impl Opts {
                     Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
                     _ => "true".to_string(),
                 };
-                opts.flags.insert(key.to_string(), value);
+                if opts.flags.insert(key.to_string(), value).is_some() {
+                    return Err(format!("duplicate flag --{key}"));
+                }
             } else {
                 opts.positional.push(arg);
             }
         }
         Ok(opts)
+    }
+
+    /// Validates that every given flag is one `command` accepts.
+    ///
+    /// The `get_*` accessors fall back to defaults for absent keys, so
+    /// a typo (`--seeed 7`) would otherwise silently run a different
+    /// experiment than the user asked for. Each command calls this
+    /// first with its accepted-key set.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the unknown flag and listing the
+    /// accepted ones.
+    pub fn expect_keys(&self, command: &str, allowed: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown flag --{key} for {command}; accepted: {}",
+                    allowed
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The positional arguments, in order.
@@ -106,6 +137,29 @@ mod tests {
         assert!(Opts::parse(vec!["---x".to_string()]).is_err());
         let o = parse(&["--n", "abc"]);
         assert!(o.get::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_rejected() {
+        let err = Opts::parse(["--n", "4", "--n", "8"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.contains("duplicate flag --n"), "{err}");
+    }
+
+    #[test]
+    fn expect_keys_flags_typos() {
+        let o = parse(&["--seeed", "7"]);
+        let err = o
+            .expect_keys("broadcast", &["n", "c", "k", "seed"])
+            .unwrap_err();
+        assert!(err.contains("--seeed"), "{err}");
+        assert!(err.contains("broadcast"), "{err}");
+        assert!(err.contains("--seed"), "should list accepted flags: {err}");
+    }
+
+    #[test]
+    fn expect_keys_accepts_known_flags() {
+        let o = parse(&["--n", "4", "--seed", "7"]);
+        assert!(o.expect_keys("broadcast", &["n", "c", "k", "seed"]).is_ok());
     }
 
     #[test]

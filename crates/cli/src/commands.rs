@@ -49,14 +49,22 @@ fn shape(opts: &Opts) -> Result<(usize, usize, usize, u64, usize), String> {
 
 fn summary_line(label: &str, slots: &[u64]) -> String {
     let s = Summary::of_u64(slots).expect("non-empty");
+    let ci = match s.ci95 {
+        Some(w) => format!(" ± {w:.1}"),
+        None => String::new(),
+    };
     format!(
-        "{label}: mean {:.1} slots (p50 {:.0}, p90 {:.0}, max {:.0}) over {} trials\n",
+        "{label}: mean {:.1}{ci} slots (p50 {:.0}, p90 {:.0}, max {:.0}) over {} trials\n",
         s.mean, s.p50, s.p90, s.max, s.n
     )
 }
 
 /// `crn broadcast` — run COGCAST.
 pub fn broadcast(opts: &Opts) -> Result<String, String> {
+    opts.expect_keys(
+        "broadcast",
+        &["n", "c", "k", "seed", "trials", "pattern", "churn"],
+    )?;
     let (n, c, k, seed, trials) = shape(opts)?;
     let pattern = pattern_by_name(&opts.get_str("pattern", "shared-core"))?;
     let churn = opts.get("churn", 0.0f64)?;
@@ -102,6 +110,10 @@ pub fn broadcast(opts: &Opts) -> Result<String, String> {
 
 /// `crn aggregate` — run COGCOMP with a chosen associative function.
 pub fn aggregate(opts: &Opts) -> Result<String, String> {
+    opts.expect_keys(
+        "aggregate",
+        &["n", "c", "k", "seed", "trials", "op", "pattern", "alpha"],
+    )?;
     let (n, c, k, seed, trials) = shape(opts)?;
     let op = opts.get_str("op", "sum");
     let pattern = pattern_by_name(&opts.get_str("pattern", "shared-core"))?;
@@ -151,6 +163,7 @@ pub fn aggregate(opts: &Opts) -> Result<String, String> {
 
 /// `crn rendezvous` — pairwise rendezvous, randomized or deterministic.
 pub fn rendezvous(opts: &Opts) -> Result<String, String> {
+    opts.expect_keys("rendezvous", &["c", "k", "seed", "trials", "deterministic"])?;
     let c = opts.get("c", 8usize)?;
     let k = opts.get("k", 2usize)?;
     let seed = opts.get("seed", 1u64)?;
@@ -189,6 +202,7 @@ pub fn rendezvous(opts: &Opts) -> Result<String, String> {
 
 /// `crn flood` — COGCAST over a multi-hop topology.
 pub fn flood(opts: &Opts) -> Result<String, String> {
+    opts.expect_keys("flood", &["n", "c", "k", "seed", "trials", "topology"])?;
     let (n, c, k, seed, trials) = shape(opts)?;
     let shape_name = opts.get_str("topology", "grid");
     let topo = match shape_name.as_str() {
@@ -225,6 +239,7 @@ pub fn flood(opts: &Opts) -> Result<String, String> {
 
 /// `crn game` — play the bipartite hitting game.
 pub fn game(opts: &Opts) -> Result<String, String> {
+    opts.expect_keys("game", &["c", "k", "seed", "trials", "player"])?;
     let c = opts.get("c", 16usize)?;
     let k = opts.get("k", 2usize)?;
     let seed = opts.get("seed", 1u64)?;
@@ -280,6 +295,7 @@ fn play_boxed(
 
 /// `crn jam` — COGCAST against an n-uniform jammer.
 pub fn jam(opts: &Opts) -> Result<String, String> {
+    opts.expect_keys("jam", &["n", "c", "k", "seed", "trials", "strategy"])?;
     let (n, c, k, seed, trials) = shape(opts)?;
     if 2 * k >= c {
         return Err(format!(
@@ -313,6 +329,7 @@ pub fn jam(opts: &Opts) -> Result<String, String> {
 
 /// `crn backoff` — resolve contention on the physical radio.
 pub fn backoff(opts: &Opts) -> Result<String, String> {
+    opts.expect_keys("backoff", &["m", "nmax", "seed", "trials"])?;
     let m = opts.get("m", 16usize)?;
     let n_max = opts.get("nmax", 256usize)?;
     let seed = opts.get("seed", 1u64)?;
@@ -346,6 +363,10 @@ pub fn backoff(opts: &Opts) -> Result<String, String> {
 /// `crn monitor` — amortized repeated aggregation over one tree.
 pub fn monitor(opts: &Opts) -> Result<String, String> {
     use crn_core::cogcomp::run_repeated_aggregation;
+    opts.expect_keys(
+        "monitor",
+        &["n", "c", "k", "seed", "trials", "rounds", "op"],
+    )?;
     let (n, c, k, seed, _trials) = shape(opts)?;
     let rounds = opts.get("rounds", 5usize)?;
     let op = opts.get_str("op", "max");
@@ -567,9 +588,37 @@ mod tests {
     #[test]
     fn dispatch_covers_all_commands() {
         for cmd in ["broadcast", "rendezvous", "game", "backoff"] {
-            assert!(dispatch(cmd, &opts(&["--trials", "1", "--n", "6", "--c", "4"])).is_some());
+            let result = dispatch(cmd, &opts(&["--trials", "1"])).expect("known command");
+            assert!(result.is_ok(), "{cmd}: {result:?}");
         }
         assert!(dispatch("nope", &opts(&[])).is_none());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_defaulted() {
+        // The original bug: `--seeed 7` fell back to the default seed
+        // and silently ran a different experiment.
+        let err = broadcast(&opts(&["--seeed", "7"])).unwrap_err();
+        assert!(err.contains("--seeed"), "{err}");
+        assert!(err.contains("--seed"), "must list accepted flags: {err}");
+        // Every command validates its own accepted-key set.
+        for cmd in [
+            "broadcast",
+            "aggregate",
+            "rendezvous",
+            "flood",
+            "game",
+            "jam",
+            "backoff",
+            "monitor",
+        ] {
+            let result = dispatch(cmd, &opts(&["--no-such-flag", "1"])).expect("known command");
+            let err = result.unwrap_err();
+            assert!(err.contains("--no-such-flag"), "{cmd}: {err}");
+        }
+        // Flags valid for one command are still rejected for another.
+        assert!(rendezvous(&opts(&["--n", "6"])).is_err());
+        assert!(backoff(&opts(&["--c", "4"])).is_err());
     }
 
     #[test]

@@ -15,9 +15,10 @@
 
 use crn_core::bounds;
 use crn_core::cogcast::CogCast;
+use crn_jamming::{JammerStrategy, UniformJammer};
 use crn_sim::assignment::shared_core;
-use crn_sim::channel_model::StaticChannels;
-use crn_sim::{Network, TraceDigest};
+use crn_sim::channel_model::{DynamicSharedCore, StaticChannels};
+use crn_sim::{ChannelModel, Network, TraceDigest};
 
 /// The fixed scenario: n = 24 nodes, C = 13 global channels, c = 6
 /// local channels with pairwise overlap k = 3, local labels, master
@@ -62,6 +63,94 @@ fn golden_cogcast_trace_digest() {
         digest.finish(),
         0x279f_38a0_b5f3_4b08,
         "golden trace digest changed after {slots_run} slots"
+    );
+}
+
+/// Drives `net` to full information within `budget`, folding every slot
+/// into a digest and conformance-checking each slot as it executes;
+/// returns `(slots_run, digest)`.
+fn run_informed<CM: ChannelModel>(
+    net: &mut Network<(), CogCast<()>, CM>,
+    seed: u64,
+    budget: u64,
+) -> (u64, u64) {
+    let mut digest = TraceDigest::new();
+    let mut trace = Vec::new();
+    let mut slots_run = 0u64;
+    for _ in 0..budget {
+        trace.push(net.step().clone());
+        digest.record(net.last_activity());
+        let violations = net.check_conformance();
+        assert!(
+            violations.is_empty(),
+            "slot {slots_run} violates the model contract: {violations:?}"
+        );
+        slots_run += 1;
+        if net.protocols().iter().all(|p| p.is_informed()) {
+            break;
+        }
+    }
+    assert!(
+        net.protocols().iter().all(|p| p.is_informed()),
+        "golden run must complete within the budget ({budget})"
+    );
+    assert_eq!(
+        crn_sim::replay_winners(seed, &trace),
+        vec![],
+        "recorded winners must match an independent ENGINE-stream replay"
+    );
+    (slots_run, digest.finish())
+}
+
+/// The jammed scenario of Theorem 18: the same shape as the plain
+/// golden run but over `full_overlap` channels (the jammer masks the
+/// global space directly) with a random n-uniform jammer of budget 2,
+/// so `c − 2k = 8 − 4 = 4` effective channels remain per pair.
+#[test]
+fn golden_jammed_trace_digest() {
+    let n = 24;
+    let (c, jam_k) = (8, 2);
+    let assignment = crn_sim::assignment::full_overlap(n, c).expect("valid shape");
+    let model = StaticChannels::local(assignment, 42);
+    let mut protos = Vec::with_capacity(n);
+    protos.push(CogCast::source(()));
+    protos.extend((1..n).map(|_| CogCast::node()));
+    let jammer = UniformJammer::new(n, c, jam_k, JammerStrategy::Random);
+    let mut net =
+        Network::with_interference(model, protos, 42, Box::new(jammer)).expect("construct");
+    let budget = crn_jamming::jammed_budget(n, c, jam_k, 60.0);
+    let (slots_run, digest) = run_informed(&mut net, 42, budget);
+    assert_eq!(
+        slots_run, 6,
+        "jammed golden run length changed (digest {digest:#018x})"
+    );
+    assert_eq!(
+        digest, 0xc510_f8d7_d599_293c,
+        "jammed golden trace digest changed after {slots_run} slots"
+    );
+}
+
+/// The churned scenario: a `DynamicSharedCore` redraws each node's
+/// non-core channels with probability 0.5 per slot, so channel sets
+/// (and labels) shift under COGCAST while the k-core keeps every pair
+/// overlapping.
+#[test]
+fn golden_churned_trace_digest() {
+    let n = 24;
+    let model = DynamicSharedCore::new(n, 6, 3, 30, 0.5, 42).expect("valid shape");
+    let mut protos = Vec::with_capacity(n);
+    protos.push(CogCast::source(()));
+    protos.extend((1..n).map(|_| CogCast::node()));
+    let mut net = Network::new(model, protos, 42).expect("construct");
+    let budget = bounds::cogcast_slots(24, 6, 3, bounds::DEFAULT_ALPHA);
+    let (slots_run, digest) = run_informed(&mut net, 42, budget);
+    assert_eq!(
+        slots_run, 5,
+        "churned golden run length changed (digest {digest:#018x})"
+    );
+    assert_eq!(
+        digest, 0xe848_edf3_85c4_d889,
+        "churned golden trace digest changed after {slots_run} slots"
     );
 }
 

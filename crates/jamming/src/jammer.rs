@@ -129,6 +129,10 @@ impl Interference for UniformJammer {
             .copied()
             .unwrap_or(false)
     }
+
+    fn jam_budget(&self) -> Option<usize> {
+        Some(self.k)
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,11 @@ where
         &self.topology
     }
 
+    /// The channel model.
+    pub fn model(&self) -> &CM {
+        &self.model
+    }
+
     /// The protocol instances, indexed by node.
     pub fn protocols(&self) -> &[P] {
         &self.protocols

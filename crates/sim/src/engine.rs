@@ -349,6 +349,20 @@ where
         &self.model
     }
 
+    /// The installed interference model, if any.
+    pub fn interference(&self) -> Option<&dyn Interference> {
+        self.interference.as_deref()
+    }
+
+    /// Checks the most recently executed slot against the Section 2
+    /// model contract (see [`crate::conformance`]); returns every
+    /// violation found. Valid only after at least one [`Network::step`]
+    /// — the model still holds that slot's channel sets until the next
+    /// step advances it.
+    pub fn check_conformance(&self) -> Vec<crate::conformance::Violation> {
+        crate::conformance::check_slot(&self.model, self.interference(), &self.activity)
+    }
+
     /// The protocol instances, indexed by node.
     pub fn protocols(&self) -> &[P] {
         &self.protocols
@@ -572,6 +586,19 @@ where
                 },
             };
             self.protocols[i].observe(&ctx, event);
+        }
+
+        // With the `validate` feature, every slot is checked against the
+        // Section 2 contract before being published; the first violation
+        // aborts the run. Compiled out by default (the checks allocate).
+        #[cfg(feature = "validate")]
+        {
+            let violations = self.check_conformance();
+            assert!(
+                violations.is_empty(),
+                "model-conformance violation:\n{}",
+                crate::conformance::report(&violations)
+            );
         }
 
         self.slot += 1;

@@ -49,6 +49,15 @@ pub trait Interference {
 
     /// Whether `channel` is jammed for `node` in the current slot.
     fn is_jammed(&self, node: NodeId, channel: GlobalChannel) -> bool;
+
+    /// The adversary's declared per-node, per-slot jam budget, if it
+    /// commits to one: at most this many of each node's channels are
+    /// jammed in any slot (Theorem 18's `k`). `None` (the default)
+    /// means unbudgeted — the conformance validator then skips the
+    /// budget and effective-overlap clauses for this adversary.
+    fn jam_budget(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// The absence of interference: nothing is ever jammed.

@@ -64,6 +64,7 @@
 
 pub mod assignment;
 pub mod channel_model;
+pub mod conformance;
 pub mod engine;
 pub mod error;
 pub mod faults;
@@ -76,6 +77,7 @@ pub mod trace;
 
 pub use assignment::{ChannelAssignment, OverlapPattern};
 pub use channel_model::{ChannelModel, DynamicSharedCore, StaticChannels};
+pub use conformance::{check_slot, replay_winners, Rule, Violation};
 pub use engine::{Network, NetworkBuilder, RunOutcome};
 pub use error::SimError;
 pub use faults::{FaultSchedule, Flaky};

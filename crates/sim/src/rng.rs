@@ -164,6 +164,8 @@ pub mod streams {
     pub const DYNAMIC: u64 = 0xD1C;
     /// Stream used by interference/jamming models.
     pub const JAMMER: u64 = 0x1A3;
+    /// Stream used by the conformance suite's workload generator.
+    pub const WORKLOAD: u64 = 0x3C0F;
     /// Base stream for per-node protocol RNGs; node `i` uses `NODE_BASE + i`.
     pub const NODE_BASE: u64 = 0x4000_0000;
 }

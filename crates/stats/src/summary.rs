@@ -32,8 +32,9 @@ pub struct Summary {
     /// 99th percentile.
     pub p99: f64,
     /// Half-width of the normal-approximation 95% confidence interval
-    /// of the mean.
-    pub ci95: f64,
+    /// of the mean; `None` for `n = 1`, where no spread can be
+    /// estimated (a zero-width interval would overstate confidence).
+    pub ci95: Option<f64>,
 }
 
 impl Summary {
@@ -53,9 +54,18 @@ impl Summary {
         let std = var.sqrt();
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        // Linearly interpolated percentile (the rank `p·(n−1)` falls
+        // between two order statistics). Nearest-rank rounding would
+        // collapse p90/p99 to `max` for any n ≤ 5, biasing the tails.
         let pct = |p: f64| -> f64 {
-            let idx = (p * (n - 1) as f64).round() as usize;
-            sorted[idx.min(n - 1)]
+            let rank = p * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let frac = rank - lo as f64;
+            if frac == 0.0 || lo + 1 >= n {
+                sorted[lo]
+            } else {
+                sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
+            }
         };
         Some(Summary {
             n,
@@ -66,7 +76,7 @@ impl Summary {
             p50: pct(0.50),
             p90: pct(0.90),
             p99: pct(0.99),
-            ci95: 1.96 * std / (n as f64).sqrt(),
+            ci95: (n > 1).then(|| 1.96 * std / (n as f64).sqrt()),
         })
     }
 
@@ -97,9 +107,33 @@ mod tests {
         let s = Summary::of(&[3.5]).unwrap();
         assert_eq!(s.mean, 3.5);
         assert_eq!(s.std, 0.0);
-        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.ci95, None, "one trial supports no interval estimate");
         assert_eq!(s.p50, 3.5);
         assert_eq!(s.p99, 3.5);
+    }
+
+    #[test]
+    fn ci95_present_from_two_samples() {
+        let s = Summary::of(&[1.0, 3.0]).unwrap();
+        let w = s.ci95.expect("n = 2 has an interval");
+        // std = sqrt(2), half-width = 1.96·sqrt(2)/sqrt(2) = 1.96.
+        assert!((w - 1.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate_instead_of_collapsing_to_max() {
+        // Nearest-rank rounding reported p90 = p99 = max = 5 here.
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!((s.p50 - 3.0).abs() < 1e-12);
+        assert!((s.p90 - 4.6).abs() < 1e-12);
+        assert!((s.p99 - 4.96).abs() < 1e-12);
+        assert!(s.p99 < s.max);
+
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert!((s.p50 - 5.5).abs() < 1e-12);
+        assert!((s.p90 - 9.1).abs() < 1e-12);
+        assert!((s.p99 - 9.91).abs() < 1e-12);
     }
 
     #[test]
