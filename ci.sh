@@ -12,10 +12,13 @@
 #      for the harness + engine on real workloads; ~1 s)
 #   6. the differential model-conformance suite, quick profile (the
 #      Section 2 validator over property-generated workloads plus the
-#      oracle-vs-physical and oracle-vs-multihop cross-checks)
+#      oracle-vs-physical and oracle-vs-multihop cross-checks, and the
+#      medium sweep running the validator over all three media)
 #   7. the same experiment smoke with the in-step validator compiled
 #      in (--features validate), so every slot of every experiment is
 #      checked against the model contract end to end
+#   8. rustdoc across the workspace with warnings denied (broken
+#      intra-doc links are errors)
 #
 # Everything is offline: external dependencies resolve to the stubs
 # under vendor/ (see Cargo.toml [workspace.dependencies]).
@@ -45,5 +48,8 @@ cargo run --release -q -p crn-bench --bin conformance -- --quick
 
 echo "==> experiments all --quick with the in-step validator (smoke)"
 cargo run --release -q -p crn-bench --features validate --bin experiments -- all --quick > /dev/null
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "ci.sh: all green"

@@ -14,9 +14,15 @@
 //! abstract collision model: one winner (uniform by symmetry), success
 //! feedback for the winner, and the winning message delivered to
 //! everyone else.
+//!
+//! The epoch/budget arithmetic ([`epoch_len`], [`recommended_rounds`])
+//! is canonical in [`crn_sim::medium`] — the in-engine
+//! [`crn_sim::medium::PhysicalDecay`] medium shares it — and re-exported
+//! here.
 
 use crate::radio::{resolve_round, RoundOutcome};
-use rand::rngs::StdRng;
+pub use crn_sim::medium::{epoch_len, recommended_rounds};
+use crn_sim::{SimError, SimRng};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -29,50 +35,43 @@ pub struct ContentionResult {
     pub rounds: u64,
 }
 
-/// Number of rounds per decay epoch for a population bound `n_max`.
-///
-/// # Examples
-///
-/// ```
-/// use crn_backoff::decay::epoch_len;
-/// assert_eq!(epoch_len(1), 1);
-/// assert_eq!(epoch_len(8), 4);
-/// assert_eq!(epoch_len(9), 5);
-/// ```
-pub fn epoch_len(n_max: usize) -> u32 {
-    (n_max.max(1) as f64).log2().ceil() as u32 + 1
-}
-
 /// Runs decay backoff among `m` contenders until one succeeds, or
 /// `max_rounds` pass.
 ///
-/// Returns `None` only if the round budget is exhausted (for sane
+/// Returns `Ok(None)` only if the round budget is exhausted (for sane
 /// budgets like `8·epoch_len(n_max)²` this is vanishingly rare).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `m == 0` or `m > n_max`.
+/// Returns [`SimError::InvalidParams`] if `m == 0` or `m > n_max`.
 ///
 /// # Examples
 ///
 /// ```
 /// use crn_backoff::decay::resolve_contention;
+/// use crn_sim::SimRng;
 /// use rand::SeedableRng;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let r = resolve_contention(5, 16, 10_000, &mut rng).unwrap();
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let r = resolve_contention(5, 16, 10_000, &mut rng)?.unwrap();
 /// assert!(r.winner < 5);
+/// # Ok::<(), crn_sim::SimError>(())
 /// ```
 pub fn resolve_contention(
     m: usize,
     n_max: usize,
     max_rounds: u64,
-    rng: &mut StdRng,
-) -> Option<ContentionResult> {
-    assert!(m >= 1, "need at least one contender");
-    assert!(
-        m <= n_max,
-        "m = {m} exceeds the population bound n_max = {n_max}"
-    );
+    rng: &mut SimRng,
+) -> Result<Option<ContentionResult>, SimError> {
+    if m == 0 {
+        return Err(SimError::InvalidParams {
+            reason: "need at least one contender".into(),
+        });
+    }
+    if m > n_max {
+        return Err(SimError::InvalidParams {
+            reason: format!("m = {m} exceeds the population bound n_max = {n_max}"),
+        });
+    }
     let epoch = epoch_len(n_max);
     let mut transmitting = vec![false; m];
     for round in 0..max_rounds {
@@ -82,23 +81,15 @@ pub fn resolve_contention(
             *t = rng.gen_bool(p);
         }
         if let RoundOutcome::Success(winner) = resolve_round(&transmitting) {
-            return Some(ContentionResult {
+            return Ok(Some(ContentionResult {
                 winner,
                 rounds: round + 1,
-            });
+            }));
         }
         // Collision or silence: receivers heard nothing; every station
         // stays active and the epoch continues.
     }
-    None
-}
-
-/// A recommended round budget that succeeds w.h.p.: `8·epoch_len²`
-/// (constant-probability success per epoch × `O(log n)` epochs for high
-/// probability).
-pub fn recommended_rounds(n_max: usize) -> u64 {
-    let e = epoch_len(n_max) as u64;
-    8 * e * e + 8
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -108,8 +99,8 @@ mod tests {
 
     #[test]
     fn single_contender_wins_first_round() {
-        let mut rng = StdRng::seed_from_u64(0);
-        let r = resolve_contention(1, 1, 10, &mut rng).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        let r = resolve_contention(1, 1, 10, &mut rng).unwrap().unwrap();
         assert_eq!(r.winner, 0);
         assert_eq!(r.rounds, 1, "p = 1 in round 0 of every epoch");
     }
@@ -120,8 +111,11 @@ mod tests {
             for m in [1usize, 2, n_max / 2 + 1, n_max] {
                 let mut failures = 0;
                 for seed in 0..200 {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    if resolve_contention(m, n_max, recommended_rounds(n_max), &mut rng).is_none() {
+                    let mut rng = SimRng::seed_from_u64(seed);
+                    if resolve_contention(m, n_max, recommended_rounds(n_max), &mut rng)
+                        .unwrap()
+                        .is_none()
+                    {
                         failures += 1;
                     }
                 }
@@ -141,8 +135,10 @@ mod tests {
         let trials = 4000;
         let mut wins = vec![0usize; m];
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(seed as u64);
-            let r = resolve_contention(m, 16, 10_000, &mut rng).unwrap();
+            let mut rng = SimRng::seed_from_u64(seed as u64);
+            let r = resolve_contention(m, 16, 10_000, &mut rng)
+                .unwrap()
+                .unwrap();
             wins[r.winner] += 1;
         }
         let expect = trials / m;
@@ -162,8 +158,9 @@ mod tests {
             let trials = 300;
             let mut total = 0u64;
             for seed in 0..trials {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = SimRng::seed_from_u64(seed);
                 total += resolve_contention(m, n_max, 1_000_000, &mut rng)
+                    .unwrap()
                     .unwrap()
                     .rounds;
             }
@@ -179,17 +176,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one contender")]
     fn zero_contenders_rejected() {
-        let mut rng = StdRng::seed_from_u64(0);
-        resolve_contention(0, 4, 10, &mut rng);
+        let mut rng = SimRng::seed_from_u64(0);
+        let err = resolve_contention(0, 4, 10, &mut rng).unwrap_err();
+        assert!(
+            matches!(&err, SimError::InvalidParams { reason } if reason.contains("at least one contender")),
+            "{err:?}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the population bound")]
     fn over_population_rejected() {
-        let mut rng = StdRng::seed_from_u64(0);
-        resolve_contention(9, 4, 10, &mut rng);
+        let mut rng = SimRng::seed_from_u64(0);
+        let err = resolve_contention(9, 4, 10, &mut rng).unwrap_err();
+        assert!(
+            matches!(&err, SimError::InvalidParams { reason } if reason.contains("exceeds the population bound")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //!    knows it succeeded (the model's success feedback).
 //!
 //! [`emulate_slot`] packages this; the `crn-bench` harness uses it for
-//! experiment F10 to report the virtual-slot cost curve.
+//! experiment F10 to report the virtual-slot cost curve. The in-engine
+//! equivalent — every slot of a full protocol run expanded this way —
+//! is the [`crn_sim::medium::PhysicalDecay`] medium.
 
 use crate::decay::{recommended_rounds, resolve_contention};
 use bytes::Bytes;
-use rand::rngs::StdRng;
+use crn_sim::{SimError, SimRng};
 
 /// The outcome of emulating one abstract slot for `m` contenders and
 /// any number of passive listeners.
@@ -33,37 +35,46 @@ pub struct EmulatedSlot {
 
 /// Emulates one abstract collision-model slot.
 ///
-/// `payloads[i]` is contender `i`'s message. Returns `None` if the
+/// `payloads[i]` is contender `i`'s message. Returns `Ok(None)` if the
 /// round budget (sized by [`recommended_rounds`]) is exhausted — the
 /// abstract model's "with high probability" caveat made concrete.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `payloads` is empty or exceeds `n_max`.
+/// Returns [`SimError::InvalidParams`] if `payloads` is empty or
+/// exceeds `n_max`.
 ///
 /// # Examples
 ///
 /// ```
 /// use bytes::Bytes;
 /// use crn_backoff::emulation::emulate_slot;
+/// use crn_sim::SimRng;
 /// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = SimRng::seed_from_u64(3);
 /// let payloads = vec![Bytes::from_static(b"a"), Bytes::from_static(b"b")];
-/// let slot = emulate_slot(&payloads, 8, &mut rng).unwrap();
+/// let slot = emulate_slot(&payloads, 8, &mut rng)?.unwrap();
 /// assert_eq!(slot.delivered, payloads[slot.winner]);
+/// # Ok::<(), crn_sim::SimError>(())
 /// ```
-pub fn emulate_slot(payloads: &[Bytes], n_max: usize, rng: &mut StdRng) -> Option<EmulatedSlot> {
+pub fn emulate_slot(
+    payloads: &[Bytes],
+    n_max: usize,
+    rng: &mut SimRng,
+) -> Result<Option<EmulatedSlot>, SimError> {
     let result = resolve_contention(payloads.len(), n_max, recommended_rounds(n_max), rng)?;
-    Some(EmulatedSlot {
-        winner: result.winner,
-        delivered: payloads[result.winner].clone(),
-        physical_rounds: result.rounds,
-    })
+    Ok(result.map(|r| EmulatedSlot {
+        winner: r.winner,
+        delivered: payloads[r.winner].clone(),
+        physical_rounds: r.rounds,
+    }))
 }
 
 /// Mean physical rounds per abstract slot for `m` contenders, over
 /// `trials` seeded episodes — the series behind experiment F10.
+///
+/// Returns `NaN` when no episode completes (including `m == 0`).
 pub fn mean_rounds_per_slot(m: usize, n_max: usize, trials: usize, seed: u64) -> f64 {
     use rand::SeedableRng;
     let payloads: Vec<Bytes> = (0..m)
@@ -72,8 +83,8 @@ pub fn mean_rounds_per_slot(m: usize, n_max: usize, trials: usize, seed: u64) ->
     let mut total = 0u64;
     let mut done = 0usize;
     for t in 0..trials {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64));
-        if let Some(slot) = emulate_slot(&payloads, n_max, &mut rng) {
+        let mut rng = SimRng::seed_from_u64(seed.wrapping_add(t as u64));
+        if let Ok(Some(slot)) = emulate_slot(&payloads, n_max, &mut rng) {
             total += slot.physical_rounds;
             done += 1;
         }
@@ -93,17 +104,19 @@ mod tests {
     #[test]
     fn delivered_payload_matches_winner() {
         for seed in 0..50 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::seed_from_u64(seed);
             let payloads: Vec<Bytes> = (0..6u8).map(|i| Bytes::from(vec![i])).collect();
-            let slot = emulate_slot(&payloads, 8, &mut rng).unwrap();
+            let slot = emulate_slot(&payloads, 8, &mut rng).unwrap().unwrap();
             assert_eq!(slot.delivered[0] as usize, slot.winner);
         }
     }
 
     #[test]
     fn lone_contender_pays_one_round() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let slot = emulate_slot(&[Bytes::from_static(b"x")], 1, &mut rng).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        let slot = emulate_slot(&[Bytes::from_static(b"x")], 1, &mut rng)
+            .unwrap()
+            .unwrap();
         assert_eq!(slot.physical_rounds, 1);
         assert_eq!(slot.winner, 0);
     }
@@ -120,9 +133,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one contender")]
     fn empty_contender_set_rejected() {
-        let mut rng = StdRng::seed_from_u64(0);
-        emulate_slot(&[], 4, &mut rng);
+        let mut rng = SimRng::seed_from_u64(0);
+        let err = emulate_slot(&[], 4, &mut rng).unwrap_err();
+        assert!(
+            matches!(&err, SimError::InvalidParams { reason } if reason.contains("at least one contender")),
+            "{err:?}"
+        );
     }
 }

@@ -13,13 +13,19 @@
 //! - [`emulation`] — one abstract slot expanded into one backoff
 //!   episode, with the delivered-payload semantics of the model.
 //!
+//! The in-engine counterpart — any `crn_sim` protocol driven over this
+//! physics — is the [`crn_sim::medium::PhysicalDecay`] medium; both
+//! draw from the dedicated `PHYSICAL` RNG stream.
+//!
 //! ```
 //! use crn_backoff::decay::{recommended_rounds, resolve_contention};
+//! use crn_sim::SimRng;
 //! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-//! let r = resolve_contention(10, 64, recommended_rounds(64), &mut rng).unwrap();
+//! let mut rng = SimRng::seed_from_u64(9);
+//! let r = resolve_contention(10, 64, recommended_rounds(64), &mut rng)?.unwrap();
 //! assert!(r.winner < 10);
+//! # Ok::<(), crn_sim::SimError>(())
 //! ```
 
 #![warn(missing_docs)]

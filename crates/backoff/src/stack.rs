@@ -21,12 +21,16 @@
 //! [`run_physical_broadcast`] measures completion in abstract slots
 //! *and* physical rounds, and counts episode failures — experiment F14
 //! compares the abstract-slot count against `crn-core`'s oracle-model
-//! COGCAST to show the substitution preserves behaviour.
+//! COGCAST to show the substitution preserves behaviour. The same
+//! physics, driving *any* protocol rather than this hard-wired uniform
+//! hopper, is the [`crn_sim::medium::PhysicalDecay`] medium; both draw
+//! from the dedicated `PHYSICAL` RNG stream (docs/RNG_STREAMS.md).
 
 use crate::decay::recommended_rounds;
 use crate::radio::{resolve_round, RoundOutcome};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crn_sim::rng::{derive_rng, streams};
+use crn_sim::SimError;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of running COGCAST on the physical stack.
@@ -83,11 +87,13 @@ pub fn shared_core_sets(n: usize, c: usize, k: usize) -> Vec<Vec<u32>> {
 /// `channel_sets[i]` lists node `i`'s channels as global ids (the
 /// engine-free simulation keeps its own local-label permutation
 /// internally — uniform random selection is label-invariant). Node 0
-/// is the source.
+/// is the source. All randomness comes from the `PHYSICAL` stream
+/// derived from `seed`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `channel_sets` is empty or some node has no channels.
+/// Returns [`SimError::InvalidParams`] if `channel_sets` is empty or
+/// some node has no channels.
 ///
 /// # Examples
 ///
@@ -95,19 +101,29 @@ pub fn shared_core_sets(n: usize, c: usize, k: usize) -> Vec<Vec<u32>> {
 /// use crn_backoff::stack::run_physical_broadcast;
 /// // 4 nodes sharing channels {0,1}.
 /// let sets = vec![vec![0u32, 1]; 4];
-/// let run = run_physical_broadcast(&sets, 3, 1_000);
+/// let run = run_physical_broadcast(&sets, 3, 1_000)?;
 /// assert!(run.completed());
 /// assert!(run.physical_rounds >= run.slots.unwrap());
+/// # Ok::<(), crn_sim::SimError>(())
 /// ```
-pub fn run_physical_broadcast(channel_sets: &[Vec<u32>], seed: u64, max_slots: u64) -> PhysicalRun {
+pub fn run_physical_broadcast(
+    channel_sets: &[Vec<u32>],
+    seed: u64,
+    max_slots: u64,
+) -> Result<PhysicalRun, SimError> {
     let n = channel_sets.len();
-    assert!(n >= 1, "need at least one node");
-    assert!(
-        channel_sets.iter().all(|s| !s.is_empty()),
-        "every node needs at least one channel"
-    );
+    if n == 0 {
+        return Err(SimError::InvalidParams {
+            reason: "need at least one node".into(),
+        });
+    }
+    if let Some(i) = channel_sets.iter().position(|s| s.is_empty()) {
+        return Err(SimError::InvalidParams {
+            reason: format!("every node needs at least one channel (node {i} has none)"),
+        });
+    }
     let rounds_per_slot = recommended_rounds(n);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = derive_rng(seed, streams::PHYSICAL);
     let mut informed = vec![false; n];
     informed[0] = true;
     let mut informed_count = 1usize;
@@ -174,32 +190,34 @@ pub fn run_physical_broadcast(channel_sets: &[Vec<u32>], seed: u64, max_slots: u
         }
         informed_per_slot.push(informed_count);
         if informed_count == n {
-            return PhysicalRun {
+            return Ok(PhysicalRun {
                 slots: Some(informed_per_slot.len() as u64),
                 physical_rounds,
                 rounds_per_slot,
                 failed_episodes,
                 informed_per_slot,
-            };
+            });
         }
     }
-    PhysicalRun {
+    Ok(PhysicalRun {
         slots: None,
         physical_rounds,
         rounds_per_slot,
         failed_episodes,
         informed_per_slot,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crn_sim::SimRng;
+    use rand::SeedableRng;
 
     #[test]
     fn completes_on_single_shared_channel() {
         let sets = vec![vec![0u32]; 6];
-        let run = run_physical_broadcast(&sets, 1, 1000);
+        let run = run_physical_broadcast(&sets, 1, 1000).unwrap();
         assert!(run.completed());
         assert_eq!(
             run.physical_rounds,
@@ -211,7 +229,7 @@ mod tests {
     fn completes_on_shared_core_assignments() {
         for seed in 0..5 {
             let sets = shared_core_sets(16, 6, 2);
-            let run = run_physical_broadcast(&sets, seed, 100_000);
+            let run = run_physical_broadcast(&sets, seed, 100_000).unwrap();
             assert!(run.completed(), "seed {seed}");
             assert_eq!(run.failed_episodes, 0, "episodes should not fail at n=16");
         }
@@ -220,7 +238,7 @@ mod tests {
     #[test]
     fn informed_counts_monotone_and_reach_n() {
         let sets = shared_core_sets(20, 5, 2);
-        let run = run_physical_broadcast(&sets, 7, 100_000);
+        let run = run_physical_broadcast(&sets, 7, 100_000).unwrap();
         for w in run.informed_per_slot.windows(2) {
             assert!(w[0] <= w[1]);
         }
@@ -237,13 +255,13 @@ mod tests {
         let trials = 30u64;
         let mut physical_total = 0u64;
         for seed in 0..trials {
-            let run = run_physical_broadcast(&shared_core_sets(n, c, k), seed, 1_000_000);
+            let run = run_physical_broadcast(&shared_core_sets(n, c, k), seed, 1_000_000).unwrap();
             physical_total += run.slots.unwrap();
         }
         // Oracle variant: identical loop with a guaranteed winner.
         let mut oracle_total = 0u64;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let mut rng = SimRng::seed_from_u64(seed ^ 0xABCD);
             let sets = shared_core_sets(n, c, k);
             let mut informed = vec![false; n];
             informed[0] = true;
@@ -271,20 +289,26 @@ mod tests {
     #[test]
     fn budget_exhaustion_reported() {
         let sets = shared_core_sets(30, 8, 1);
-        let run = run_physical_broadcast(&sets, 2, 1);
+        let run = run_physical_broadcast(&sets, 2, 1).unwrap();
         assert!(!run.completed());
         assert_eq!(run.informed_per_slot.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "at least one node")]
     fn empty_network_rejected() {
-        run_physical_broadcast(&[], 0, 10);
+        let err = run_physical_broadcast(&[], 0, 10).unwrap_err();
+        assert!(
+            matches!(&err, SimError::InvalidParams { reason } if reason.contains("at least one node")),
+            "{err:?}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one channel")]
     fn empty_channel_set_rejected() {
-        run_physical_broadcast(&[vec![]], 0, 10);
+        let err = run_physical_broadcast(&[vec![]], 0, 10).unwrap_err();
+        assert!(
+            matches!(&err, SimError::InvalidParams { reason } if reason.contains("at least one channel")),
+            "{err:?}"
+        );
     }
 }

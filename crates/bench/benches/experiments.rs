@@ -228,7 +228,7 @@ fn bench_ablations(cr: &mut Criterion) {
             .collect();
         b.iter(|| {
             let s = next();
-            black_box(run_physical_broadcast(&sets, s, 1_000_000).slots)
+            black_box(run_physical_broadcast(&sets, s, 1_000_000).unwrap().slots)
         })
     });
 }
@@ -297,7 +297,7 @@ fn bench_figures(cr: &mut Criterion) {
     });
     cr.bench_function("f10_backoff", |b| {
         b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(next());
+            let mut rng = crn_sim::SimRng::seed_from_u64(next());
             black_box(resolve_contention(
                 64,
                 256,

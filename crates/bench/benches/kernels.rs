@@ -10,7 +10,7 @@ use crn_bench::effort::par_trials;
 use crn_core::cogcast::CogCast;
 use crn_sim::assignment::shared_core;
 use crn_sim::channel_model::StaticChannels;
-use crn_sim::Network;
+use crn_sim::{Network, PhysicalDecay};
 
 /// The (n, c) grid the slot-engine sweep and the JSON baseline cover.
 const ENGINE_GRID: [(usize, usize); 7] = [
@@ -33,6 +33,20 @@ fn engine_net(n: usize, c: usize, seed: u64) -> Network<u8, CogCast<u8>, StaticC
     Network::new(model, protos, seed).unwrap()
 }
 
+/// The same COGCAST workload over the decay-backoff physical medium:
+/// every abstract slot expands into per-round transmit coin flips, so
+/// this is the substrate's hot path rather than the oracle's.
+fn physical_net(
+    n: usize,
+    c: usize,
+    seed: u64,
+) -> Network<u8, CogCast<u8>, StaticChannels, PhysicalDecay> {
+    let model = StaticChannels::local(shared_core(n, c, 2).unwrap(), seed);
+    let mut protos = vec![CogCast::source(0u8)];
+    protos.extend((1..n).map(|_| CogCast::node()));
+    Network::with_medium(model, protos, seed, PhysicalDecay::new()).unwrap()
+}
+
 /// Engine slot throughput: how fast one simulated slot executes as the
 /// network grows (all nodes active, COGCAST workload), swept over
 /// (n, c).
@@ -44,6 +58,21 @@ fn bench_engine_slots(cr: &mut Criterion) {
             &(n, c),
             |b, &(n, c)| {
                 let mut net = engine_net(n, c, 1);
+                b.iter(|| {
+                    net.step();
+                    black_box(net.slot())
+                });
+            },
+        );
+    }
+    g.finish();
+    let mut g = cr.benchmark_group("physical_slot");
+    for &(n, c) in &ENGINE_GRID {
+        g.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), c),
+            &(n, c),
+            |b, &(n, c)| {
+                let mut net = physical_net(n, c, 1);
                 b.iter(|| {
                     net.step();
                     black_box(net.slot())
@@ -74,6 +103,26 @@ fn measure_slots_per_sec(n: usize, c: usize) -> (f64, f64) {
     )
 }
 
+/// Wall-clock ns per *abstract* slot on the decay-backoff physical
+/// medium — each slot is one fixed-length episode per active channel,
+/// so this runs far fewer slots than the oracle measurement.
+fn measure_physical_ns_per_slot(n: usize, c: usize) -> (f64, f64) {
+    let mut net = physical_net(n, c, 1);
+    for _ in 0..100 {
+        net.step();
+    }
+    let slots = (100_000 / n).max(200) as u64;
+    let t0 = Instant::now();
+    for _ in 0..slots {
+        net.step();
+    }
+    let dt = t0.elapsed();
+    (
+        slots as f64 / dt.as_secs_f64(),
+        dt.as_nanos() as f64 / slots as f64,
+    )
+}
+
 /// Re-measures the sweep with plain wall-clock timing and records it to
 /// `BENCH_engine.json` at the repository root — the tracked baseline
 /// EXPERIMENTS.md and the README's Performance section reference. Also
@@ -85,6 +134,13 @@ fn write_engine_baseline() {
     for &(n, c) in &ENGINE_GRID {
         let (slots_per_sec, ns_per_slot) = measure_slots_per_sec(n, c);
         rows.push(format!(
+            "    {{\"n\": {n}, \"c\": {c}, \"slots_per_sec\": {slots_per_sec:.0}, \"ns_per_slot\": {ns_per_slot:.1}}}"
+        ));
+    }
+    let mut physical_rows = Vec::new();
+    for &(n, c) in &ENGINE_GRID {
+        let (slots_per_sec, ns_per_slot) = measure_physical_ns_per_slot(n, c);
+        physical_rows.push(format!(
             "    {{\"n\": {n}, \"c\": {c}, \"slots_per_sec\": {slots_per_sec:.0}, \"ns_per_slot\": {ns_per_slot:.1}}}"
         ));
     }
@@ -103,8 +159,9 @@ fn write_engine_baseline() {
     let aggregate = (trials as u64 * per_trial_slots) as f64 / t0.elapsed().as_secs_f64();
 
     let json = format!(
-        "{{\n  \"bench\": \"slot_engine\",\n  \"workload\": \"COGCAST broadcast, shared_core(n, c, 2), local labels\",\n  \"engine\": \"scratch-buffered, allocation-free steady state, active-channel slot resolution\",\n  \"grid\": [\n{}\n  ],\n  \"par_trials\": {{\"trials\": {trials}, \"slots_per_trial\": {per_trial_slots}, \"aggregate_slots_per_sec\": {aggregate:.0}}}\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"bench\": \"slot_engine\",\n  \"workload\": \"COGCAST broadcast, shared_core(n, c, 2), local labels\",\n  \"engine\": \"scratch-buffered, allocation-free steady state, active-channel slot resolution\",\n  \"grid\": [\n{}\n  ],\n  \"physical_slot\": [\n{}\n  ],\n  \"par_trials\": {{\"trials\": {trials}, \"slots_per_trial\": {per_trial_slots}, \"aggregate_slots_per_sec\": {aggregate:.0}}}\n}}\n",
+        rows.join(",\n"),
+        physical_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, json).expect("write BENCH_engine.json");

@@ -18,10 +18,16 @@
 //!    single-hop oracle and the multihop engine over a complete
 //!    topology: both must complete within their budgets with agreeing
 //!    slot counts (extending experiment F15).
+//! 4. **Medium sweep** — COGCAST workloads driven over every
+//!    [`crn_sim::Medium`] (`oracle`, `multihop` on the complete
+//!    topology, `physical` decay backoff); the per-slot validator must
+//!    run clean on each, applying only the clauses the medium's profile
+//!    claims. `--medium <name>` restricts the sweep to one medium.
 //!
 //! Any divergence is reported with its reproducing seed and parameters,
 //! shrunk to a minimal failing shape, and the process exits nonzero.
-//! `--quick` selects the CI profile (still ≥ 100 workloads per part).
+//! `--quick` selects the CI profile (still ≥ 100 workloads per part,
+//! and still sweeping the whole medium axis).
 
 use crn_backoff::stack::{run_physical_broadcast, shared_core_sets};
 use crn_core::bounds::{cogcast_slots, DEFAULT_ALPHA};
@@ -32,7 +38,10 @@ use crn_sim::assignment::{shared_core, ChannelAssignment, OverlapPattern};
 use crn_sim::channel_model::{DynamicSharedCore, StaticChannels};
 use crn_sim::conformance::{replay_winners, report, Violation};
 use crn_sim::rng::{derive_rng, streams};
-use crn_sim::{ChannelModel, FaultSchedule, Flaky, Network, Protocol, SlotActivity};
+use crn_sim::{
+    ChannelModel, FaultSchedule, Flaky, Medium, Network, OracleMultihop, OracleSingleHop,
+    PhysicalDecay, Protocol, SlotActivity,
+};
 use rand::Rng;
 use std::process::ExitCode;
 
@@ -113,13 +122,15 @@ fn gen_workload(seed: u64) -> Workload {
     }
 }
 
-/// Steps `slots` slots, conformance-checking each one, then replays the
-/// recorded winners against the ENGINE stream. Returns every violation.
-fn drive<M, P, CM>(net: &mut Network<M, P, CM>, seed: u64, slots: u64) -> Vec<Violation>
+/// Steps `slots` slots, conformance-checking each one, then — when the
+/// medium draws its winners from the ENGINE stream — replays the
+/// recorded winners against it. Returns every violation.
+fn drive<M, P, CM, Med>(net: &mut Network<M, P, CM, Med>, seed: u64, slots: u64) -> Vec<Violation>
 where
     M: Clone,
     P: Protocol<M>,
     CM: ChannelModel,
+    Med: Medium<M>,
 {
     let mut violations = Vec::new();
     let mut trace: Vec<SlotActivity> = Vec::with_capacity(slots as usize);
@@ -127,7 +138,9 @@ where
         trace.push(net.step().clone());
         violations.extend(net.check_conformance());
     }
-    violations.extend(replay_winners(seed, &trace));
+    if net.medium().profile().engine_stream_winners {
+        violations.extend(replay_winners(seed, &trace));
+    }
     violations
 }
 
@@ -275,7 +288,8 @@ fn oracle_vs_physical(workloads: u64, trials: u64) -> usize {
             let oracle = run_broadcast(model, trial_seed, ORACLE_BUDGET)
                 .expect("construct")
                 .slots;
-            let physical = run_physical_broadcast(&sets, trial_seed, PHYSICAL_BUDGET);
+            let physical =
+                run_physical_broadcast(&sets, trial_seed, PHYSICAL_BUDGET).expect("valid params");
             match (oracle, physical.slots) {
                 (Some(o), Some(p)) => {
                     oracle_sum += o;
@@ -394,8 +408,82 @@ fn oracle_vs_multihop(workloads: u64, trials: u64) -> usize {
     failures
 }
 
+/// The media the sweep covers, in `--medium` argument order.
+const MEDIA: &[&str] = &["oracle", "multihop", "physical"];
+
+/// Part 4: COGCAST workloads driven over each requested medium; the
+/// per-slot validator (gated by each medium's profile) must run clean.
+/// Returns the number of divergent (workload, medium) pairs.
+fn medium_sweep(workloads: u64, media: &[&str]) -> usize {
+    let mut failures = 0usize;
+    for i in 0..workloads {
+        let seed = 3_000_000 + i;
+        let mut rng = derive_rng(seed, streams::WORKLOAD);
+        let n = rng.gen_range(3..=16usize);
+        let c = rng.gen_range(2..=6usize);
+        let k = rng.gen_range(1..=c);
+        let assignment = shared_core(n, c, k).expect("valid shape");
+        let slots = 40u64;
+        for &medium in media {
+            let mut protos = Vec::with_capacity(n);
+            protos.push(CogCast::source(()));
+            protos.extend((1..n).map(|_| CogCast::node()));
+            let model = StaticChannels::local(assignment.clone(), seed);
+            let violations = match medium {
+                "oracle" => {
+                    let mut net = Network::with_medium(model, protos, seed, OracleSingleHop::new())
+                        .expect("construct");
+                    drive(&mut net, seed, slots)
+                }
+                "multihop" => {
+                    let med = OracleMultihop::new(Topology::complete(n));
+                    let mut net =
+                        Network::with_medium(model, protos, seed, med).expect("construct");
+                    drive(&mut net, seed, slots)
+                }
+                "physical" => {
+                    let mut net = Network::with_medium(model, protos, seed, PhysicalDecay::new())
+                        .expect("construct");
+                    drive(&mut net, seed, slots)
+                }
+                other => unreachable!("unknown medium {other}"),
+            };
+            if !violations.is_empty() {
+                failures += 1;
+                eprintln!("DIVERGENCE (medium sweep, {medium}): n={n} c={c} k={k} seed={seed}");
+                eprintln!("{}", report(&violations));
+            }
+        }
+    }
+    println!(
+        "part 4: medium sweep           — {workloads} workloads x {} media, {failures} divergent",
+        media.len()
+    );
+    failures
+}
+
 fn main() -> ExitCode {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let media: Vec<&str> = match args
+        .iter()
+        .position(|a| a == "--medium")
+        .map(|i| args.get(i + 1))
+    {
+        Some(Some(m)) if MEDIA.contains(&m.as_str()) => vec![MEDIA
+            .iter()
+            .copied()
+            .find(|&x| x == m.as_str())
+            .expect("checked")],
+        Some(got) => {
+            eprintln!(
+                "--medium needs one of {MEDIA:?}, got {:?}",
+                got.map(String::as_str).unwrap_or("<missing>")
+            );
+            return ExitCode::FAILURE;
+        }
+        None => MEDIA.to_vec(),
+    };
     // The CI (`--quick`) profile still meets the ≥ 100-workloads-per-part
     // acceptance floor; the full profile triples the sweep.
     let (sweep, diff, trials) = if quick {
@@ -411,6 +499,7 @@ fn main() -> ExitCode {
     failures += validator_sweep(sweep);
     failures += oracle_vs_physical(diff, trials);
     failures += oracle_vs_multihop(diff, trials);
+    failures += medium_sweep(diff, &media);
     if failures == 0 {
         println!("conformance: all parts clean");
         ExitCode::SUCCESS

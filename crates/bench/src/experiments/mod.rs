@@ -45,7 +45,7 @@ impl fmt::Display for Artifact {
 /// All experiment ids, in DESIGN.md order.
 pub const EXPERIMENT_IDS: &[&str] = &[
     "t1", "t2", "t3", "t4", "t5", "t6", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9",
-    "f10", "f11", "f12", "f13", "f14", "f15", "a1", "a2", "a3", "a4",
+    "f10", "f11", "f12", "f13", "f14", "f15", "f16", "a1", "a2", "a3", "a4",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -76,6 +76,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> Option<Artifact> {
         "f13" => Artifact::Table(broadcast::f13(effort)),
         "f14" => Artifact::Table(special::f14(effort)),
         "f15" => Artifact::Table(special::f15(effort)),
+        "f16" => Artifact::Table(special::f16(effort)),
         _ => return None,
     };
     Some(artifact)

@@ -128,7 +128,7 @@ pub fn f14(effort: Effort) -> Table {
         });
         let sets = shared_core_sets(n, c, k);
         let runs = crate::effort::par_trials(trials, |seed| {
-            let run = run_physical_broadcast(&sets, seed, 10_000_000);
+            let run = run_physical_broadcast(&sets, seed, 10_000_000).expect("valid params");
             assert!(run.completed(), "physical n={n} seed={seed}");
             run
         });
@@ -144,6 +144,145 @@ pub fn f14(effort: Effort) -> Table {
             runs[0].rounds_per_slot.to_string(),
             format!("{phys_rounds:.0}"),
             fails.to_string(),
+        ]);
+    }
+    t
+}
+
+/// **F16** — the protocol × medium matrix: COGCAST, hop-together and
+/// COGCOMP each driven over the abstract collision oracle, the multihop
+/// medium on the complete topology (which must reproduce the oracle's
+/// numbers exactly), and the real decay-backoff physical layer. The
+/// physical columns are the first cross-protocol runs on real decay —
+/// previously only the hard-wired COGCAST stack (F14) touched it.
+pub fn f16(effort: Effort) -> Table {
+    use crn_core::aggregate::Count;
+    use crn_core::cogcast::run_broadcast_on;
+    use crn_core::cogcomp::run_aggregation_on;
+    use crn_rendezvous::hop_together::run_hop_together_on;
+    use crn_sim::{OracleMultihop, OracleSingleHop, PhysicalDecay, Topology};
+
+    let (n, c, k) = (16usize, 6usize, 2usize);
+    let trials = effort.trials(15);
+    let budget = 1_000_000u64;
+    let mut t = Table::new(
+        format!("F16: protocol × medium matrix (n = {n}, c = {c}, k = {k}; mean slots)"),
+        &[
+            "protocol",
+            "oracle",
+            "multihop (complete)",
+            "physical",
+            "phys rounds",
+        ],
+    );
+
+    // Mean over the completed trials, annotating any that timed out.
+    let fmt_cell = |xs: &[Option<u64>]| -> String {
+        let done: Vec<u64> = xs.iter().copied().flatten().collect();
+        let dnf = xs.len() - done.len();
+        if done.is_empty() {
+            return "dnf".into();
+        }
+        let mean = done.iter().sum::<u64>() as f64 / done.len() as f64;
+        if dnf == 0 {
+            format!("{mean:.1}")
+        } else {
+            format!("{mean:.1} ({dnf} dnf)")
+        }
+    };
+    let mean_rounds = |xs: &[(Option<u64>, u64)]| -> String {
+        format!(
+            "{:.0}",
+            xs.iter().map(|&(_, r)| r).sum::<u64>() as f64 / xs.len() as f64
+        )
+    };
+
+    // COGCAST (local labels).
+    {
+        let model = |seed| StaticChannels::local(shared_core(n, c, k).expect("valid"), seed);
+        let oracle = crate::effort::par_trials(trials, |s| {
+            let (run, _) =
+                run_broadcast_on(model(s), s, budget, OracleSingleHop::new()).expect("construct");
+            run.slots
+        });
+        let multihop = crate::effort::par_trials(trials, |s| {
+            let medium = OracleMultihop::new(Topology::complete(n));
+            let (run, _) = run_broadcast_on(model(s), s, budget, medium).expect("construct");
+            run.slots
+        });
+        let physical = crate::effort::par_trials(trials, |s| {
+            let (run, med) =
+                run_broadcast_on(model(s), s, budget, PhysicalDecay::new()).expect("construct");
+            (run.slots, med.physical_rounds())
+        });
+        let phys_slots: Vec<Option<u64>> = physical.iter().map(|&(sl, _)| sl).collect();
+        t.push_row(vec![
+            "COGCAST".into(),
+            fmt_cell(&oracle),
+            fmt_cell(&multihop),
+            fmt_cell(&phys_slots),
+            mean_rounds(&physical),
+        ]);
+    }
+
+    // Hop-together rendezvous broadcast (global labels).
+    {
+        let model = |_seed| StaticChannels::global(shared_core(n, c, k).expect("valid"));
+        let oracle = crate::effort::par_trials(trials, |s| {
+            let (run, _) = run_hop_together_on(model(s), s, budget, OracleSingleHop::new())
+                .expect("construct");
+            run.slots
+        });
+        let multihop = crate::effort::par_trials(trials, |s| {
+            let medium = OracleMultihop::new(Topology::complete(n));
+            let (run, _) = run_hop_together_on(model(s), s, budget, medium).expect("construct");
+            run.slots
+        });
+        let physical = crate::effort::par_trials(trials, |s| {
+            let (run, med) =
+                run_hop_together_on(model(s), s, budget, PhysicalDecay::new()).expect("construct");
+            (run.slots, med.physical_rounds())
+        });
+        let phys_slots: Vec<Option<u64>> = physical.iter().map(|&(sl, _)| sl).collect();
+        t.push_row(vec![
+            "hop-together".into(),
+            fmt_cell(&oracle),
+            fmt_cell(&multihop),
+            fmt_cell(&phys_slots),
+            mean_rounds(&physical),
+        ]);
+    }
+
+    // COGCOMP aggregation (local labels; slots counted only when the
+    // aggregate is complete — every node informed and terminated).
+    {
+        let alpha = 6.0;
+        let model = |seed| StaticChannels::local(shared_core(n, c, k).expect("valid"), seed);
+        let values = || -> Vec<Count> { (0..n).map(|_| Count(1)).collect() };
+        let oracle = crate::effort::par_trials(trials, |s| {
+            let (run, _) = run_aggregation_on(model(s), values(), s, alpha, OracleSingleHop::new())
+                .expect("construct");
+            run.is_complete().then(|| run.slots.expect("complete"))
+        });
+        let multihop = crate::effort::par_trials(trials, |s| {
+            let medium = OracleMultihop::new(Topology::complete(n));
+            let (run, _) =
+                run_aggregation_on(model(s), values(), s, alpha, medium).expect("construct");
+            run.is_complete().then(|| run.slots.expect("complete"))
+        });
+        let physical = crate::effort::par_trials(trials, |s| {
+            let (run, med) = run_aggregation_on(model(s), values(), s, alpha, PhysicalDecay::new())
+                .expect("construct");
+            let slots = run.is_complete().then(|| run.slots.expect("complete"));
+            (slots, med.physical_rounds())
+        });
+        let phys_slots: Vec<Option<u64>> = physical.iter().map(|&(sl, _)| sl).collect();
+        t.push_row(vec![
+            "COGCOMP".into(),
+            fmt_cell(&oracle),
+            fmt_cell(&multihop),
+            fmt_cell(&phys_slots),
+            mean_rounds(&physical),
         ]);
     }
     t
@@ -198,6 +337,27 @@ mod tests {
             line > complete * 2.0,
             "line must be much slower than complete: {complete} vs {line}"
         );
+    }
+
+    #[test]
+    fn f16_multihop_column_matches_oracle_exactly() {
+        // Complete topology + single-hop protocols: the multihop medium
+        // delegates to the oracle, so the columns must be identical —
+        // same trace, same slot counts, not just statistically close.
+        let t = f16(Effort::Quick);
+        assert_eq!(t.rows().len(), 3);
+        for row in t.rows() {
+            assert_eq!(row[1], row[2], "oracle vs multihop diverged: {row:?}");
+            // The physical column completed and agrees in order of
+            // magnitude (decay preserves the slot-level behaviour).
+            assert!(!row[3].contains("dnf"), "physical timed out: {row:?}");
+            let oracle: f64 = row[1].parse().unwrap();
+            let physical: f64 = row[3].parse().unwrap();
+            assert!(
+                physical / oracle < 4.0 && oracle / physical < 4.0,
+                "physical slots far from oracle: {row:?}"
+            );
+        }
     }
 
     #[test]

@@ -59,37 +59,110 @@ fn summary_line(label: &str, slots: &[u64]) -> String {
     )
 }
 
+/// Which slot-resolution medium a command should drive the protocol
+/// over. `multihop` uses the complete topology, so its single-hop
+/// behaviour must agree with `oracle`; `physical` expands every slot
+/// into a decay-backoff episode and additionally reports physical
+/// rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MediumChoice {
+    Oracle,
+    Multihop,
+    Physical,
+}
+
+impl MediumChoice {
+    const ALL: [MediumChoice; 3] = [
+        MediumChoice::Oracle,
+        MediumChoice::Multihop,
+        MediumChoice::Physical,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            MediumChoice::Oracle => "oracle",
+            MediumChoice::Multihop => "multihop",
+            MediumChoice::Physical => "physical",
+        }
+    }
+}
+
+fn medium_by_name(name: &str) -> Result<MediumChoice, String> {
+    MediumChoice::ALL
+        .into_iter()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown medium {name:?}; options: {}",
+                MediumChoice::ALL.map(|m| m.name()).join(", ")
+            )
+        })
+}
+
+/// Runs COGCAST over the chosen medium; accumulates physical-round
+/// counts into `physical_rounds` when the medium is `physical`.
+fn broadcast_on_medium<CM: crn_sim::ChannelModel>(
+    model: CM,
+    seed: u64,
+    medium: MediumChoice,
+    physical_rounds: &mut u64,
+) -> Result<crn_core::cogcast::BroadcastRun, String> {
+    use crn_core::cogcast::run_broadcast_on;
+    let n = model.n();
+    match medium {
+        MediumChoice::Oracle => run_broadcast(model, seed, BUDGET).map_err(|e| e.to_string()),
+        MediumChoice::Multihop => run_broadcast_on(
+            model,
+            seed,
+            BUDGET,
+            crn_sim::OracleMultihop::new(crn_sim::Topology::complete(n)),
+        )
+        .map(|(run, _)| run)
+        .map_err(|e| e.to_string()),
+        MediumChoice::Physical => {
+            let (run, med) = run_broadcast_on(model, seed, BUDGET, crn_sim::PhysicalDecay::new())
+                .map_err(|e| e.to_string())?;
+            *physical_rounds += med.physical_rounds();
+            Ok(run)
+        }
+    }
+}
+
 /// `crn broadcast` — run COGCAST.
 pub fn broadcast(opts: &Opts) -> Result<String, String> {
     opts.expect_keys(
         "broadcast",
-        &["n", "c", "k", "seed", "trials", "pattern", "churn"],
+        &[
+            "n", "c", "k", "seed", "trials", "pattern", "churn", "medium",
+        ],
     )?;
     let (n, c, k, seed, trials) = shape(opts)?;
     let pattern = pattern_by_name(&opts.get_str("pattern", "shared-core"))?;
+    let medium = medium_by_name(&opts.get_str("medium", "oracle"))?;
     let churn = opts.get("churn", 0.0f64)?;
     let mut slots = Vec::new();
+    let mut physical_rounds = 0u64;
     for t in 0..trials as u64 {
         let s = seed.wrapping_add(t);
         let run = if churn > 0.0 {
             let model = DynamicSharedCore::new(n, c, k, (c - k).max(1) * 10, churn, s)
                 .map_err(|e| e.to_string())?;
-            run_broadcast(model, s, BUDGET)
+            broadcast_on_medium(model, s, medium, &mut physical_rounds)
         } else {
             let mut rng = derive_rng(s, 0xC11);
             let a = pattern
                 .generate(n, c, k, &mut rng)
                 .map_err(|e| e.to_string())?;
-            run_broadcast(StaticChannels::local(a, s), s, BUDGET)
-        }
-        .map_err(|e| e.to_string())?;
+            broadcast_on_medium(StaticChannels::local(a, s), s, medium, &mut physical_rounds)
+        }?;
         slots.push(run.slots.ok_or("broadcast did not complete in budget")?);
     }
     let mut out = String::new();
     writeln!(
         out,
-        "COGCAST local broadcast: n = {n}, c = {c}, k = {k}, pattern = {}{}",
+        "COGCAST local broadcast: n = {n}, c = {c}, k = {k}, pattern = {}, medium = {}{}",
         pattern.name(),
+        medium.name(),
         if churn > 0.0 {
             format!(", churn = {churn}")
         } else {
@@ -98,6 +171,16 @@ pub fn broadcast(opts: &Opts) -> Result<String, String> {
     )
     .expect("write to string");
     out.push_str(&summary_line("completion", &slots));
+    if medium == MediumChoice::Physical {
+        let total_slots: u64 = slots.iter().sum();
+        writeln!(
+            out,
+            "physical cost: {} rounds total, {:.0} rounds per abstract slot",
+            physical_rounds,
+            physical_rounds as f64 / total_slots.max(1) as f64
+        )
+        .expect("write to string");
+    }
     writeln!(
         out,
         "Theorem 4 budget (alpha = {}): {} slots",
@@ -339,13 +422,14 @@ pub fn backoff(opts: &Opts) -> Result<String, String> {
     }
     let mut rounds = Vec::new();
     for t in 0..trials as u64 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(t));
+        let mut rng = crn_sim::SimRng::seed_from_u64(seed.wrapping_add(t));
         let r = crn_backoff::resolve_contention(
             m,
             n_max,
             crn_backoff::recommended_rounds(n_max),
             &mut rng,
         )
+        .map_err(|e| e.to_string())?
         .ok_or("decay episode failed within the recommended budget")?;
         rounds.push(r.rounds);
     }
@@ -452,6 +536,7 @@ USAGE: crn <command> [--key value]...
 COMMANDS
   broadcast   COGCAST local broadcast
               --n 32 --c 8 --k 2 --pattern shared-core --churn 0.0 --trials 10 --seed 1
+              --medium oracle|multihop|physical
   aggregate   COGCOMP data aggregation
               --n 32 --c 8 --k 2 --op sum|min|max|count|mean --alpha 10 --trials 10
   rendezvous  pairwise rendezvous
@@ -492,6 +577,42 @@ mod tests {
     #[test]
     fn broadcast_rejects_bad_shape() {
         assert!(broadcast(&opts(&["--k", "9", "--c", "4"])).is_err());
+    }
+
+    #[test]
+    fn broadcast_medium_axis() {
+        for medium in ["oracle", "multihop", "physical"] {
+            let out = broadcast(&opts(&[
+                "--n", "10", "--c", "4", "--trials", "2", "--medium", medium,
+            ]))
+            .unwrap_or_else(|e| panic!("{medium}: {e}"));
+            assert!(out.contains(&format!("medium = {medium}")), "{out}");
+        }
+        // Physical runs additionally report the round expansion.
+        let out = broadcast(&opts(&[
+            "--n", "10", "--c", "4", "--trials", "2", "--medium", "physical",
+        ]))
+        .unwrap();
+        assert!(out.contains("physical cost"), "{out}");
+        assert!(broadcast(&opts(&["--medium", "ether"])).is_err());
+    }
+
+    #[test]
+    fn broadcast_multihop_medium_matches_oracle() {
+        // Complete topology + single-hop protocol: the multihop medium
+        // must delegate to the oracle and reproduce its exact numbers.
+        let base = &["--n", "12", "--c", "4", "--trials", "3"];
+        let oracle = broadcast(&opts(base)).unwrap();
+        let mut with_medium = base.to_vec();
+        with_medium.extend(["--medium", "multihop"]);
+        let multihop = broadcast(&opts(&with_medium)).unwrap();
+        let line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("completion"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(line(&oracle), line(&multihop));
     }
 
     #[test]

@@ -314,11 +314,51 @@ pub fn run_broadcast<CM: crn_sim::ChannelModel>(
     seed: u64,
     budget: u64,
 ) -> Result<BroadcastRun, crn_sim::SimError> {
+    run_broadcast_on(model, seed, budget, crn_sim::OracleSingleHop::new()).map(|(run, _)| run)
+}
+
+/// Runs COGCAST over an arbitrary [`crn_sim::Medium`] — the abstract
+/// collision oracle, a multi-hop topology, or the decay-backoff
+/// physical layer — and returns the medium alongside the run so
+/// medium-side metadata (e.g. [`crn_sim::PhysicalDecay::physical_rounds`])
+/// can be read back.
+///
+/// With [`crn_sim::OracleSingleHop`] this is trace-identical to
+/// [`run_broadcast`].
+///
+/// # Errors
+///
+/// Propagates [`crn_sim::SimError`] from network construction.
+///
+/// # Examples
+///
+/// ```
+/// use crn_core::cogcast::run_broadcast_on;
+/// use crn_sim::assignment::shared_core;
+/// use crn_sim::channel_model::StaticChannels;
+/// use crn_sim::PhysicalDecay;
+///
+/// let model = StaticChannels::local(shared_core(8, 4, 2)?, 3);
+/// let (run, medium) = run_broadcast_on(model, 3, 10_000, PhysicalDecay::new())?;
+/// assert!(run.completed());
+/// assert!(medium.physical_rounds() > 0);
+/// # Ok::<(), crn_sim::SimError>(())
+/// ```
+pub fn run_broadcast_on<CM, Med>(
+    model: CM,
+    seed: u64,
+    budget: u64,
+    medium: Med,
+) -> Result<(BroadcastRun, Med), crn_sim::SimError>
+where
+    CM: crn_sim::ChannelModel,
+    Med: crn_sim::Medium<()>,
+{
     let n = model.n();
     let mut protos = Vec::with_capacity(n);
     protos.push(CogCast::source(()));
     protos.extend((1..n).map(|_| CogCast::node()));
-    let mut net = crn_sim::Network::new(model, protos, seed)?;
+    let mut net = crn_sim::Network::with_medium(model, protos, seed, medium)?;
 
     let mut informed_per_slot = Vec::new();
     let mut slots = None;
@@ -331,11 +371,12 @@ pub fn run_broadcast<CM: crn_sim::ChannelModel>(
             break;
         }
     }
-    Ok(BroadcastRun {
+    let run = BroadcastRun {
         slots,
         budget,
         informed_per_slot,
-    })
+    };
+    Ok((run, net.into_medium()))
 }
 
 /// Convenience: runs COGCAST with the Theorem 4 budget sized by

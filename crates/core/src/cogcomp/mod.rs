@@ -82,6 +82,29 @@ pub fn run_aggregation<CM: ChannelModel, V: Aggregate>(
     run_aggregation_cfg(model, values, seed, cfg, budget)
 }
 
+/// Runs COGCOMP end to end over an arbitrary [`crn_sim::Medium`] with
+/// the recommended budget; see [`run_aggregation_cfg_on`].
+///
+/// # Errors
+///
+/// As for [`run_aggregation`].
+pub fn run_aggregation_on<CM, V, Med>(
+    model: CM,
+    values: Vec<V>,
+    seed: u64,
+    alpha: f64,
+    medium: Med,
+) -> Result<(AggregationRun<V>, Med), SimError>
+where
+    CM: ChannelModel,
+    V: Aggregate,
+    Med: crn_sim::Medium<CogCompMsg<V>>,
+{
+    let cfg = CogCompConfig::new(model.n(), model.c(), model.k(), alpha);
+    let budget = cfg.recommended_budget();
+    run_aggregation_cfg_on(model, values, seed, cfg, budget, medium)
+}
+
 /// Runs COGCOMP with an explicit configuration (e.g. the
 /// [`Coordination::Uncoordinated`] ablation) and an explicit slot
 /// budget.
@@ -98,6 +121,44 @@ pub fn run_aggregation_cfg<CM: ChannelModel, V: Aggregate>(
     cfg: CogCompConfig,
     budget: u64,
 ) -> Result<AggregationRun<V>, SimError> {
+    run_aggregation_cfg_on(
+        model,
+        values,
+        seed,
+        cfg,
+        budget,
+        crn_sim::OracleSingleHop::new(),
+    )
+    .map(|(run, _)| run)
+}
+
+/// Runs COGCOMP over an arbitrary [`crn_sim::Medium`] — the collision
+/// oracle, a multi-hop topology, or the decay-backoff physical layer —
+/// with an explicit configuration and slot budget. Returns the medium
+/// alongside the run so medium-side metadata (e.g.
+/// [`crn_sim::PhysicalDecay::physical_rounds`]) can be read back.
+///
+/// With [`crn_sim::OracleSingleHop`] this is trace-identical to
+/// [`run_aggregation_cfg`].
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParams`] if `values.len()` differs from
+/// the model's node count or `cfg` disagrees with the model's shape,
+/// and propagates network construction errors.
+pub fn run_aggregation_cfg_on<CM, V, Med>(
+    model: CM,
+    values: Vec<V>,
+    seed: u64,
+    cfg: CogCompConfig,
+    budget: u64,
+    medium: Med,
+) -> Result<(AggregationRun<V>, Med), SimError>
+where
+    CM: ChannelModel,
+    V: Aggregate,
+    Med: crn_sim::Medium<CogCompMsg<V>>,
+{
     let n = model.n();
     if values.len() != n {
         return Err(SimError::InvalidParams {
@@ -120,22 +181,23 @@ pub fn run_aggregation_cfg<CM: ChannelModel, V: Aggregate>(
     protos.push(CogComp::source(cfg, source_value));
     protos.extend(values.map(|v| CogComp::node(cfg, v)));
 
-    let mut net = Network::new(model, protos, seed)?;
+    let mut net = Network::with_medium(model, protos, seed, medium)?;
     let outcome = net.run_to_completion(budget);
     let slots = outcome.slots();
-    let protos = net.into_protocols();
+    let (protos, medium) = net.into_parts();
 
     let uninformed = protos.iter().filter(|p| !p.knows_init()).count();
     let result = slots.and_then(|_| protos[0].result().cloned());
     let phase4_steps = slots.map(|s| s.saturating_sub(cfg.phase4_start()).div_ceil(3));
-    Ok(AggregationRun {
+    let run = AggregationRun {
         result,
         slots,
         phase4_steps,
         cfg,
         uninformed,
         budget,
-    })
+    };
+    Ok((run, medium))
 }
 
 /// The outcome of an amortized multi-round COGCOMP execution.

@@ -1,26 +1,28 @@
 //! The multi-hop slot engine.
 //!
-//! Generalizes the paper's single-hop model (Section 2) to an arbitrary
-//! connectivity [`Topology`]: a transmission on channel `q` reaches
-//! only *neighbors* tuned to `q`. Collision resolution becomes
-//! receiver-centric — for each listener, one of its transmitting
-//! neighbors on the channel (uniformly random, independent per
-//! listener) gets through — which is the natural multi-hop reading of
-//! the paper's backoff abstraction. Transmitter-side feedback does not
-//! survive the generalization (a node cannot know which of its
-//! neighbors heard it), so transmitters always observe
+//! Since the medium refactor this is a thin wrapper over the unified
+//! [`crn_sim::Network`] driving the [`OracleMultihop`] medium: a
+//! transmission on channel `q` reaches only *neighbors* tuned to `q`,
+//! and collision resolution is receiver-centric — for each listener,
+//! one of its transmitting neighbors on the channel (uniformly random,
+//! independent per listener) gets through, the natural multi-hop
+//! reading of the paper's backoff abstraction. Transmitter-side
+//! feedback does not survive the generalization (a node cannot know
+//! which of its neighbors heard it), so transmitters always observe
 //! [`Event::Delivered`]; COGCAST never uses the feedback, so it runs
 //! unmodified.
 //!
+//! [`Event::Delivered`]: crn_sim::Event::Delivered
+//!
 //! Protocols, actions, events and channel models are shared with
 //! [`crn_sim`] — any single-hop protocol written against
-//! [`crn_sim::Protocol`] runs here as-is.
+//! [`crn_sim::Protocol`] runs here as-is, and on a complete topology
+//! the medium delegates to the single-hop oracle, reproducing its
+//! traces exactly.
 
 use crate::topology::Topology;
-use crn_sim::rng::SimRng;
-use crn_sim::rng::{derive_rng, streams};
-use crn_sim::{Action, ChannelModel, Event, GlobalChannel, NodeCtx, NodeId, Protocol, SimError};
-use rand::Rng;
+use crn_sim::medium::OracleMultihop;
+use crn_sim::{ChannelModel, Network, Protocol, SimError};
 
 /// A simulated multi-hop cognitive radio network.
 ///
@@ -43,13 +45,7 @@ use rand::Rng;
 /// ```
 #[allow(missing_debug_implementations)] // protocols are user types
 pub struct MultihopNetwork<M, P, CM> {
-    topology: Topology,
-    model: CM,
-    protocols: Vec<P>,
-    node_rngs: Vec<SimRng>,
-    engine_rng: SimRng,
-    slot: u64,
-    _marker: std::marker::PhantomData<M>,
+    inner: Network<M, P, CM, OracleMultihop>,
 }
 
 impl<M, P, CM> MultihopNetwork<M, P, CM>
@@ -70,44 +66,39 @@ where
         protocols: Vec<P>,
         seed: u64,
     ) -> Result<Self, SimError> {
-        if protocols.len() != model.n() || topology.len() != model.n() {
+        if topology.len() != model.n() {
             return Err(SimError::ProtocolCountMismatch {
                 nodes: model.n(),
                 protocols: protocols.len(),
             });
         }
-        let node_rngs = (0..model.n())
-            .map(|i| derive_rng(seed, streams::NODE_BASE + i as u64))
-            .collect();
-        Ok(MultihopNetwork {
-            topology,
-            model,
-            protocols,
-            node_rngs,
-            engine_rng: derive_rng(seed, streams::ENGINE),
-            slot: 0,
-            _marker: std::marker::PhantomData,
-        })
+        let inner = Network::with_medium(model, protocols, seed, OracleMultihop::new(topology))?;
+        Ok(MultihopNetwork { inner })
     }
 
     /// The connectivity topology.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        self.inner.medium().topology()
     }
 
     /// The channel model.
     pub fn model(&self) -> &CM {
-        &self.model
+        self.inner.model()
     }
 
     /// The protocol instances, indexed by node.
     pub fn protocols(&self) -> &[P] {
-        &self.protocols
+        self.inner.protocols()
     }
 
     /// Slots executed so far.
     pub fn slot(&self) -> u64 {
-        self.slot
+        self.inner.slot()
+    }
+
+    /// The underlying unified engine.
+    pub fn network(&self) -> &Network<M, P, CM, OracleMultihop> {
+        &self.inner
     }
 
     /// Executes one slot.
@@ -116,82 +107,7 @@ where
     ///
     /// Panics if a protocol selects a local channel `>= c`.
     pub fn step(&mut self) {
-        let slot = self.slot;
-        let n = self.model.n();
-        let k = self.model.k();
-        let global_labels = self.model.labels_are_global();
-        self.model.advance(slot);
-
-        let mut actions: Vec<Action<M>> = Vec::with_capacity(n);
-        for i in 0..n {
-            let c_i = self.model.c_of(i);
-            let ctx = NodeCtx {
-                id: NodeId(i as u32),
-                slot,
-                n,
-                c: c_i,
-                k,
-                channels: global_labels.then(|| self.model.channels(i)),
-            };
-            let action = self.protocols[i].decide(&ctx, &mut self.node_rngs[i]);
-            if let Some(ch) = action.channel() {
-                assert!(
-                    ch.index() < c_i,
-                    "protocol bug: node {i} chose local channel {ch} but c = {c_i}"
-                );
-            }
-            actions.push(action);
-        }
-
-        // Physical tuning per node.
-        let tuned: Vec<Option<(GlobalChannel, bool)>> = actions
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                a.channel()
-                    .map(|local| (self.model.channels(i)[local.index()], a.is_broadcast()))
-            })
-            .collect();
-
-        // Receiver-centric resolution.
-        for i in 0..n {
-            let event: Event<M> = match &actions[i] {
-                Action::Sleep => continue,
-                Action::Broadcast(..) => Event::Delivered,
-                Action::Listen(_) => {
-                    let (my_channel, _) = tuned[i].expect("listener is tuned");
-                    let senders: Vec<usize> = self
-                        .topology
-                        .neighbors(i)
-                        .iter()
-                        .copied()
-                        .filter(|&j| tuned[j] == Some((my_channel, true)))
-                        .collect();
-                    if senders.is_empty() {
-                        Event::Silence
-                    } else {
-                        let w = senders[self.engine_rng.gen_range(0..senders.len())];
-                        let Action::Broadcast(_, msg) = &actions[w] else {
-                            unreachable!("sender filter guarantees a broadcast")
-                        };
-                        Event::Received {
-                            from: NodeId(w as u32),
-                            msg: msg.clone(),
-                        }
-                    }
-                }
-            };
-            let ctx = NodeCtx {
-                id: NodeId(i as u32),
-                slot,
-                n,
-                c: self.model.c_of(i),
-                k,
-                channels: global_labels.then(|| self.model.channels(i)),
-            };
-            self.protocols[i].observe(&ctx, event);
-        }
-        self.slot += 1;
+        self.inner.step();
     }
 
     /// Runs until `done` holds; returns the completing slot count, or
@@ -200,7 +116,7 @@ where
         for _ in 0..budget {
             self.step();
             if done(self) {
-                return Some(self.slot);
+                return Some(self.inner.slot());
             }
         }
         None
@@ -208,7 +124,7 @@ where
 
     /// Consumes the network and returns its protocols.
     pub fn into_protocols(self) -> Vec<P> {
-        self.protocols
+        self.inner.into_protocols()
     }
 }
 
@@ -217,7 +133,8 @@ mod tests {
     use super::*;
     use crn_sim::assignment::full_overlap;
     use crn_sim::channel_model::StaticChannels;
-    use crn_sim::LocalChannel;
+    use crn_sim::rng::SimRng;
+    use crn_sim::{Action, Event, LocalChannel, NodeCtx, NodeId};
 
     struct Fixed {
         action: Action<u8>,
@@ -337,5 +254,21 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn conformance_holds_on_incomplete_topology() {
+        // The unified engine's conformance hook applies the multihop
+        // profile: winner-less contended channels are legal here.
+        let topo = Topology::line(3);
+        let model = StaticChannels::global(full_overlap(3, 1).unwrap());
+        let protos = vec![
+            fixed(Action::Broadcast(LocalChannel(0), 9)),
+            fixed(Action::Listen(LocalChannel(0))),
+            fixed(Action::Listen(LocalChannel(0))),
+        ];
+        let mut net = MultihopNetwork::new(topo, model, protos, 1).unwrap();
+        net.step();
+        assert_eq!(net.network().check_conformance(), vec![]);
     }
 }

@@ -117,6 +117,32 @@ pub fn run_hop_together<CM: ChannelModel>(
     seed: u64,
     budget: u64,
 ) -> Result<HopTogetherRun, SimError> {
+    run_hop_together_on(model, seed, budget, crn_sim::OracleSingleHop::new()).map(|(run, _)| run)
+}
+
+/// Runs hop-together broadcast over an arbitrary [`crn_sim::Medium`] —
+/// the collision oracle or the decay-backoff physical layer — and
+/// returns the medium alongside the run so medium-side metadata (e.g.
+/// [`crn_sim::PhysicalDecay::physical_rounds`]) can be read back.
+///
+/// The scan schedule is deterministic, so the only difference between
+/// media is *which* concurrent broadcaster gets through — the algorithm
+/// is unchanged.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParams`] if the model has local labels,
+/// and propagates construction errors.
+pub fn run_hop_together_on<CM, Med>(
+    model: CM,
+    seed: u64,
+    budget: u64,
+    medium: Med,
+) -> Result<(HopTogetherRun, Med), SimError>
+where
+    CM: ChannelModel,
+    Med: crn_sim::Medium<()>,
+{
     if !model.labels_are_global() {
         return Err(SimError::InvalidParams {
             reason: "hop-together requires the global-label model".into(),
@@ -127,9 +153,9 @@ pub fn run_hop_together<CM: ChannelModel>(
     let mut protos = Vec::with_capacity(n);
     protos.push(HopTogether::source((), total));
     protos.extend((1..n).map(|_| HopTogether::node(total)));
-    let mut net = Network::new(model, protos, seed)?;
+    let mut net = Network::with_medium(model, protos, seed, medium)?;
     let slots = net.run(budget, |net| net.all_done()).slots();
-    Ok(HopTogetherRun { slots, budget })
+    Ok((HopTogetherRun { slots, budget }, net.into_medium()))
 }
 
 #[cfg(test)]

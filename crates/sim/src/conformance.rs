@@ -42,6 +42,7 @@
 use crate::channel_model::ChannelModel;
 use crate::ids::NodeId;
 use crate::interference::Interference;
+use crate::medium::MediumProfile;
 use crate::rng::{derive_rng, streams};
 use crate::trace::SlotActivity;
 use rand::Rng;
@@ -150,6 +151,28 @@ pub fn check_slot<CM: ChannelModel + ?Sized>(
     interference: Option<&dyn Interference>,
     activity: &SlotActivity,
 ) -> Vec<Violation> {
+    check_slot_for(model, interference, activity, MediumProfile::oracle())
+}
+
+/// [`check_slot`] parameterized by the medium's [`MediumProfile`].
+///
+/// Most clauses are substrate-independent; the ones that are not are
+/// gated on the profile:
+///
+/// - the "broadcasters but no winner" half of winner legitimacy applies
+///   only when `profile.guaranteed_winner` holds (a [`PhysicalDecay`]
+///   episode can fail, and [`OracleMultihop`] winners are per-receiver);
+/// - [`replay_winners`] (a whole-run check, not part of this function)
+///   is meaningful only when `profile.engine_stream_winners` holds.
+///
+/// [`PhysicalDecay`]: crate::medium::PhysicalDecay
+/// [`OracleMultihop`]: crate::medium::OracleMultihop
+pub fn check_slot_for<CM: ChannelModel + ?Sized>(
+    model: &CM,
+    interference: Option<&dyn Interference>,
+    activity: &SlotActivity,
+    profile: MediumProfile,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     let slot = activity.slot;
     let n = model.n();
@@ -180,7 +203,7 @@ pub fn check_slot<CM: ChannelModel + ?Sized>(
                 format!("{}: winner {w} is not among its broadcasters", ch.channel),
             ),
             Some(_) => {}
-            None if !ch.broadcasters.is_empty() => violate(
+            None if profile.guaranteed_winner && !ch.broadcasters.is_empty() => violate(
                 Rule::WinnerLegitimacy,
                 format!(
                     "{}: {} broadcasters but no winner",

@@ -1,32 +1,41 @@
 //! The synchronous slot engine.
 //!
 //! [`Network`] drives `n` protocol state machines against a
-//! [`ChannelModel`], implementing the paper's Section 2 model exactly:
+//! [`ChannelModel`] over a pluggable [`Medium`], implementing the
+//! paper's Section 2 model exactly:
 //!
 //! 1. at the start of each slot every node picks an action (broadcast /
 //!    listen / sleep) on one of its `c` channels, addressed by local
 //!    label;
-//! 2. the engine translates local labels to global channels;
-//! 3. on each channel with at least one transmission, one transmission —
-//!    chosen uniformly at random — succeeds: all listeners on the channel
-//!    receive it, the winner learns it succeeded, and the losing
-//!    broadcasters both learn they failed *and* receive the winning
-//!    message;
+//! 2. the engine translates local labels to global channels and applies
+//!    interference;
+//! 3. the medium resolves contention — under the default
+//!    [`OracleSingleHop`], on each channel with at least one
+//!    transmission one transmission (chosen uniformly at random)
+//!    succeeds: all listeners on the channel receive it, the winner
+//!    learns it succeeded, and the losing broadcasters both learn they
+//!    failed *and* receive the winning message;
 //! 4. every non-sleeping node observes the outcome.
 //!
+//! Everything around step 3 — protocol driving, label translation,
+//! interference/jamming, fault wrappers, tracing, conformance checking
+//! — is medium-agnostic and written once here; swapping the medium
+//! (multi-hop topology, physical decay backoff) swaps only the
+//! resolution rule.
+//!
 //! The engine is fully deterministic given its seed: per-node protocol
-//! RNGs, the contention-resolution RNG, and the interference RNG are all
-//! derived from the master seed on independent streams, and channels are
-//! resolved in sorted order so winner draws are reproducible.
+//! RNGs, the medium's resolution RNG, and the interference RNG are all
+//! derived from the master seed on independent streams, and channels
+//! are resolved in sorted order so winner draws are reproducible.
 
 use crate::channel_model::ChannelModel;
 use crate::error::SimError;
-use crate::ids::{GlobalChannel, NodeId};
+use crate::ids::NodeId;
 use crate::interference::Interference;
+use crate::medium::{Medium, OracleSingleHop, SlotInputs};
 use crate::proto::{Action, Event, NodeCtx, Protocol};
 use crate::rng::{derive_rng, streams, SimRng};
-use crate::trace::{ChannelActivity, SlotActivity};
-use rand::Rng;
+use crate::trace::SlotActivity;
 
 /// The result of [`Network::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +75,8 @@ impl RunOutcome {
 }
 
 /// A consuming builder for [`Network`], convenient when protocols are
-/// assembled incrementally or interference is optional.
+/// assembled incrementally, interference is optional, or the medium is
+/// non-default.
 ///
 /// # Examples
 ///
@@ -94,11 +104,12 @@ impl RunOutcome {
 /// # Ok::<(), crn_sim::SimError>(())
 /// ```
 #[allow(missing_debug_implementations)] // protocols and interference are user types
-pub struct NetworkBuilder<M, P, CM> {
+pub struct NetworkBuilder<M, P, CM, Med = OracleSingleHop> {
     model: CM,
     protocols: Vec<P>,
     seed: u64,
     interference: Option<Box<dyn Interference>>,
+    medium: Med,
     _marker: std::marker::PhantomData<M>,
 }
 
@@ -109,17 +120,26 @@ where
     CM: ChannelModel,
 {
     /// Starts a builder over `model` (seed 0, no protocols, no
-    /// interference).
+    /// interference, single-hop oracle medium).
     pub fn new(model: CM) -> Self {
         NetworkBuilder {
             model,
             protocols: Vec::new(),
             seed: 0,
             interference: None,
+            medium: OracleSingleHop::new(),
             _marker: std::marker::PhantomData,
         }
     }
+}
 
+impl<M, P, CM, Med> NetworkBuilder<M, P, CM, Med>
+where
+    M: Clone,
+    P: Protocol<M>,
+    CM: ChannelModel,
+    Med: Medium<M>,
+{
     /// Sets the master seed.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -148,21 +168,42 @@ where
         self
     }
 
+    /// Replaces the medium (type-changing: the builder tracks the new
+    /// medium type).
+    #[must_use]
+    pub fn medium<Med2: Medium<M>>(self, medium: Med2) -> NetworkBuilder<M, P, CM, Med2> {
+        NetworkBuilder {
+            model: self.model,
+            protocols: self.protocols,
+            seed: self.seed,
+            interference: self.interference,
+            medium,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
     /// Builds the network.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::ProtocolCountMismatch`] if the number of
     /// protocols differs from the model's node count.
-    pub fn build(self) -> Result<Network<M, P, CM>, SimError> {
-        Network::build(self.model, self.protocols, self.seed, self.interference)
+    pub fn build(self) -> Result<Network<M, P, CM, Med>, SimError> {
+        Network::assemble(
+            self.model,
+            self.protocols,
+            self.seed,
+            self.interference,
+            self.medium,
+        )
     }
 }
 
-/// A simulated single-hop cognitive radio network.
+/// A simulated cognitive radio network.
 ///
-/// Generic over the message type `M`, the per-node protocol `P`, and the
-/// channel model `CM`.
+/// Generic over the message type `M`, the per-node protocol `P`, the
+/// channel model `CM`, and the slot-resolution [`Medium`] `Med`
+/// (default: the paper's single-hop collision oracle).
 ///
 /// # Examples
 ///
@@ -198,13 +239,13 @@ where
 /// # Ok::<(), crn_sim::SimError>(())
 /// ```
 #[allow(missing_debug_implementations)] // protocols and interference are user types
-pub struct Network<M, P, CM> {
+pub struct Network<M, P, CM, Med = OracleSingleHop> {
     model: CM,
     protocols: Vec<P>,
     node_rngs: Vec<SimRng>,
-    engine_rng: SimRng,
     jam_rng: SimRng,
     interference: Option<Box<dyn Interference>>,
+    medium: Med,
     slot: u64,
     activity: SlotActivity,
     scratch: Scratch<M>,
@@ -214,11 +255,10 @@ pub struct Network<M, P, CM> {
 /// Reusable per-slot buffers owned by [`Network`].
 ///
 /// Every vector [`Network::step`] needs is cleared and refilled in
-/// place, so after the first few slots the engine performs no heap
-/// allocation in steady state (see `tests/alloc.rs`). `pool` recycles
-/// the [`ChannelActivity`] records — and, crucially, the `broadcasters`
-/// / `listeners` vectors inside them — that were published through
-/// [`Network::last_activity`] on the previous slot.
+/// place, so after the first few slots the engine itself performs no
+/// heap allocation in steady state (see `tests/alloc.rs`); the default
+/// [`OracleSingleHop`] medium upholds the same guarantee for the
+/// resolution path.
 struct Scratch<M> {
     /// Phase A: each node's chosen action this slot.
     actions: Vec<Action<M>>,
@@ -226,39 +266,11 @@ struct Scratch<M> {
     jammed_nodes: Vec<bool>,
     /// Phase B: committed tunings shown to adaptive interference.
     intents: Vec<crate::interference::Intent>,
-    /// Phase B/C: `(channel, node, is_broadcast)`, sorted by channel.
-    tuned: Vec<(GlobalChannel, usize, bool)>,
-    /// Phase B: staging buffer for the grouping pass that orders `tuned`.
-    tuned_unsorted: Vec<(GlobalChannel, usize, bool)>,
-    /// Sparse activity index: per global channel, the epoch (slot + 1)
-    /// that last touched it. A stale stamp means "inactive this slot",
-    /// so no per-slot clearing of the channel space is ever needed.
-    chan_epoch: Vec<u64>,
-    /// Per global channel, its slot in `active` (valid only when the
-    /// epoch stamp is current); reused as the running placement offset
-    /// during the grouping pass.
-    chan_pos: Vec<u32>,
-    /// The distinct channels touched this slot, with participant counts.
-    active: Vec<(GlobalChannel, u32)>,
-    /// Phase C: per node, the winning node on its channel (if any).
-    winners: Vec<Option<usize>>,
-    /// Retired [`ChannelActivity`] records, indexed by global channel.
-    ///
-    /// Keying the pool by channel (rather than recycling LIFO) means
-    /// each channel's broadcaster/listener vectors converge to *that
-    /// channel's* high-water capacity, after which refills never
-    /// reallocate. Costs `O(total_channels)` empty records of scratch
-    /// memory.
-    pool: Vec<ChannelActivity>,
-}
-
-fn empty_channel_record() -> ChannelActivity {
-    ChannelActivity {
-        channel: GlobalChannel(0),
-        broadcasters: Vec::new(),
-        winner: None,
-        listeners: Vec::new(),
-    }
+    /// Phase B: `(channel, node, is_broadcast)` in ascending node order
+    /// — the medium's [`SlotInputs::tuned`].
+    tuned: Vec<(crate::ids::GlobalChannel, usize, bool)>,
+    /// Phase C/D: per node, the event to observe (`None` = sleeper).
+    events: Vec<Option<Event<M>>>,
 }
 
 impl<M> Default for Scratch<M> {
@@ -268,12 +280,7 @@ impl<M> Default for Scratch<M> {
             jammed_nodes: Vec::new(),
             intents: Vec::new(),
             tuned: Vec::new(),
-            tuned_unsorted: Vec::new(),
-            chan_epoch: Vec::new(),
-            chan_pos: Vec::new(),
-            active: Vec::new(),
-            winners: Vec::new(),
-            pool: Vec::new(),
+            events: Vec::new(),
         }
     }
 }
@@ -284,18 +291,20 @@ where
     P: Protocol<M>,
     CM: ChannelModel,
 {
-    /// Creates a network with no interference.
+    /// Creates a network with no interference, on the default
+    /// single-hop oracle medium.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::ProtocolCountMismatch`] if `protocols.len()`
     /// differs from the model's node count.
     pub fn new(model: CM, protocols: Vec<P>, seed: u64) -> Result<Self, SimError> {
-        Self::build(model, protocols, seed, None)
+        Self::assemble(model, protocols, seed, None, OracleSingleHop::new())
     }
 
     /// Creates a network subject to an [`Interference`] model (used by
-    /// the jamming experiments of Theorem 18).
+    /// the jamming experiments of Theorem 18), on the default
+    /// single-hop oracle medium.
     ///
     /// # Errors
     ///
@@ -307,14 +316,46 @@ where
         seed: u64,
         interference: Box<dyn Interference>,
     ) -> Result<Self, SimError> {
-        Self::build(model, protocols, seed, Some(interference))
+        Self::assemble(
+            model,
+            protocols,
+            seed,
+            Some(interference),
+            OracleSingleHop::new(),
+        )
+    }
+}
+
+impl<M, P, CM, Med> Network<M, P, CM, Med>
+where
+    M: Clone,
+    P: Protocol<M>,
+    CM: ChannelModel,
+    Med: Medium<M>,
+{
+    /// Creates a network over an explicit [`Medium`] (no interference).
+    ///
+    /// The medium's RNG stream is re-derived from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProtocolCountMismatch`] if `protocols.len()`
+    /// differs from the model's node count.
+    pub fn with_medium(
+        model: CM,
+        protocols: Vec<P>,
+        seed: u64,
+        medium: Med,
+    ) -> Result<Self, SimError> {
+        Self::assemble(model, protocols, seed, None, medium)
     }
 
-    fn build(
+    fn assemble(
         model: CM,
         protocols: Vec<P>,
         seed: u64,
         interference: Option<Box<dyn Interference>>,
+        mut medium: Med,
     ) -> Result<Self, SimError> {
         if protocols.len() != model.n() {
             return Err(SimError::ProtocolCountMismatch {
@@ -325,13 +366,14 @@ where
         let node_rngs = (0..model.n())
             .map(|i| derive_rng(seed, streams::NODE_BASE + i as u64))
             .collect();
+        medium.reseed(seed);
         Ok(Network {
             model,
             protocols,
             node_rngs,
-            engine_rng: derive_rng(seed, streams::ENGINE),
             jam_rng: derive_rng(seed, streams::JAMMER),
             interference,
+            medium,
             slot: 0,
             activity: SlotActivity::default(),
             scratch: Scratch::default(),
@@ -354,13 +396,30 @@ where
         self.interference.as_deref()
     }
 
+    /// The slot-resolution medium.
+    pub fn medium(&self) -> &Med {
+        &self.medium
+    }
+
+    /// Mutable access to the medium (e.g. to read-and-reset metadata
+    /// counters between runs).
+    pub fn medium_mut(&mut self) -> &mut Med {
+        &mut self.medium
+    }
+
     /// Checks the most recently executed slot against the Section 2
-    /// model contract (see [`crate::conformance`]); returns every
-    /// violation found. Valid only after at least one [`Network::step`]
-    /// — the model still holds that slot's channel sets until the next
-    /// step advances it.
+    /// model contract (see [`crate::conformance`]), applying only the
+    /// clauses the medium's [`crate::medium::MediumProfile`] claims;
+    /// returns every violation found. Valid only after at least one
+    /// [`Network::step`] — the model still holds that slot's channel
+    /// sets until the next step advances it.
     pub fn check_conformance(&self) -> Vec<crate::conformance::Violation> {
-        crate::conformance::check_slot(&self.model, self.interference(), &self.activity)
+        crate::conformance::check_slot_for(
+            &self.model,
+            self.interference(),
+            &self.activity,
+            self.medium.profile(),
+        )
     }
 
     /// The protocol instances, indexed by node.
@@ -401,18 +460,6 @@ where
             intf.advance(slot, &mut self.jam_rng);
         }
 
-        // Retire last slot's channel records to their per-channel pool
-        // slots so each channel's vectors keep their own capacity.
-        if self.scratch.pool.len() < self.model.total_channels() {
-            self.scratch
-                .pool
-                .resize_with(self.model.total_channels(), empty_channel_record);
-        }
-        for act in self.activity.channels.drain(..) {
-            let idx = act.channel.index();
-            self.scratch.pool[idx] = act;
-        }
-
         // Phase A: collect decisions.
         self.scratch.actions.clear();
         for i in 0..n {
@@ -440,13 +487,12 @@ where
         }
 
         // Phase B: translate to global channels, show the committed
-        // intents to an adaptive adversary, apply interference, and
-        // group participants per channel (sorted for determinism).
+        // intents to an adaptive adversary, and apply interference.
         self.scratch.jammed_nodes.clear();
         self.scratch.jammed_nodes.resize(n, false);
         let mut sleepers = 0usize;
         let mut jammed_count = 0usize;
-        self.scratch.tuned_unsorted.clear();
+        self.scratch.tuned.clear();
         if self.interference.is_some() {
             // Interference is adaptive: the committed intents must be
             // shown to the adversary before jamming is applied.
@@ -474,7 +520,7 @@ where
                     self.scratch.jammed_nodes[intent.node.index()] = true;
                     jammed_count += 1;
                 } else {
-                    self.scratch.tuned_unsorted.push((
+                    self.scratch.tuned.push((
                         intent.channel,
                         intent.node.index(),
                         intent.broadcast,
@@ -488,90 +534,50 @@ where
                     sleepers += 1;
                     continue;
                 };
-                self.scratch.tuned_unsorted.push((
+                self.scratch.tuned.push((
                     self.model.channels(i)[local.index()],
                     i,
                     action.is_broadcast(),
                 ));
             }
         }
-        self.sort_tuned_by_channel();
 
-        // Phase C: resolve contention channel by channel.
+        // Phase C: the medium resolves contention. Jammed nodes are
+        // pre-filled (they hear noise regardless of substrate); the
+        // medium fills in every tuned participant and this slot's
+        // channel records.
         self.activity.slot = slot;
         self.activity.sleepers = sleepers;
         self.activity.jammed = jammed_count;
-        self.scratch.winners.clear();
-        self.scratch.winners.resize(n, None); // per node: winning node on its channel
-        let mut start = 0;
-        while start < self.scratch.tuned.len() {
-            let channel = self.scratch.tuned[start].0;
-            let mut end = start;
-            while end < self.scratch.tuned.len() && self.scratch.tuned[end].0 == channel {
-                end += 1;
+        self.scratch.events.clear();
+        self.scratch.events.resize(n, None);
+        for (i, &jammed) in self.scratch.jammed_nodes.iter().enumerate() {
+            if jammed {
+                self.scratch.events[i] = Some(Event::Jammed);
             }
-            let mut act = std::mem::replace(
-                &mut self.scratch.pool[channel.index()],
-                empty_channel_record(),
-            );
-            act.channel = channel;
-            act.broadcasters.clear();
-            act.listeners.clear();
-            let group = &self.scratch.tuned[start..end];
-            for &(_, node, is_broadcast) in group {
-                if is_broadcast {
-                    act.broadcasters.push(NodeId(node as u32));
-                } else {
-                    act.listeners.push(NodeId(node as u32));
-                }
-            }
-            let winner = if act.broadcasters.is_empty() {
-                None
-            } else {
-                let pick = self.engine_rng.gen_range(0..act.broadcasters.len());
-                Some(act.broadcasters[pick].index())
-            };
-            act.winner = winner.map(|i| NodeId(i as u32));
-            for &(_, node, _) in group {
-                self.scratch.winners[node] = winner;
-            }
-            self.activity.channels.push(act);
-            start = end;
         }
+        let Scratch {
+            actions,
+            tuned,
+            events,
+            ..
+        } = &mut self.scratch;
+        self.medium.resolve(
+            &SlotInputs {
+                slot,
+                n,
+                total_channels: self.model.total_channels(),
+                actions,
+                tuned,
+            },
+            events,
+            &mut self.activity,
+        );
 
-        // Phase D: deliver observations.
+        // Phase D: deliver observations (sleepers observe nothing).
         for i in 0..n {
-            let event: Event<M> = if self.scratch.jammed_nodes[i] {
-                Event::Jammed
-            } else {
-                match &self.scratch.actions[i] {
-                    Action::Sleep => continue,
-                    Action::Broadcast(..) => match self.scratch.winners[i] {
-                        Some(w) if w == i => Event::Delivered,
-                        Some(w) => {
-                            let Action::Broadcast(_, msg) = &self.scratch.actions[w] else {
-                                unreachable!("winner must have broadcast")
-                            };
-                            Event::Lost {
-                                winner: NodeId(w as u32),
-                                msg: msg.clone(),
-                            }
-                        }
-                        None => unreachable!("a broadcaster's channel always has a winner"),
-                    },
-                    Action::Listen(_) => match self.scratch.winners[i] {
-                        Some(w) => {
-                            let Action::Broadcast(_, msg) = &self.scratch.actions[w] else {
-                                unreachable!("winner must have broadcast")
-                            };
-                            Event::Received {
-                                from: NodeId(w as u32),
-                                msg: msg.clone(),
-                            }
-                        }
-                        None => Event::Silence,
-                    },
-                }
+            let Some(event) = self.scratch.events[i].take() else {
+                continue;
             };
             let ctx = NodeCtx {
                 id: NodeId(i as u32),
@@ -605,60 +611,6 @@ where
         &self.activity
     }
 
-    /// Orders `scratch.tuned_unsorted` by global channel into
-    /// `scratch.tuned`, ties broken by node id.
-    ///
-    /// Cost is `O(T + A log A)` for `T` tuned nodes on `A` distinct
-    /// *active* channels — never proportional to the model's full
-    /// channel space `C`. An epoch stamp (`slot + 1`) marks the channels
-    /// touched this slot, so the per-channel arrays are neither cleared
-    /// nor scanned between slots; sparse slots (the common case in
-    /// COGCAST/COGCOMP and all rendezvous baselines) pay only for what
-    /// they touch. The ordering is identical to sorting by
-    /// `(channel, node)`: `tuned_unsorted` is filled in ascending node
-    /// order and each node appears at most once, so stable placement by
-    /// channel preserves node order within each group.
-    fn sort_tuned_by_channel(&mut self) {
-        let unsorted = &mut self.scratch.tuned_unsorted;
-        let tuned = &mut self.scratch.tuned;
-        tuned.clear();
-        // Sized to the channel space once (amortized; see tests/alloc.rs),
-        // then only the active entries are ever touched again.
-        let total = self.model.total_channels();
-        if self.scratch.chan_epoch.len() < total {
-            self.scratch.chan_epoch.resize(total, 0);
-            self.scratch.chan_pos.resize(total, 0);
-        }
-        let epoch = self.slot + 1; // stamps start at 0, so epoch 0 never matches
-        let active = &mut self.scratch.active;
-        active.clear();
-        for &(ch, _, _) in unsorted.iter() {
-            let ci = ch.index();
-            if self.scratch.chan_epoch[ci] == epoch {
-                active[self.scratch.chan_pos[ci] as usize].1 += 1;
-            } else {
-                self.scratch.chan_epoch[ci] = epoch;
-                self.scratch.chan_pos[ci] = active.len() as u32;
-                active.push((ch, 1));
-            }
-        }
-        // Winner draws consume the engine stream in ascending channel
-        // order, so the active set must be resolved sorted.
-        active.sort_unstable_by_key(|&(ch, _)| ch);
-        let mut offset = 0u32;
-        for &(ch, count) in active.iter() {
-            self.scratch.chan_pos[ch.index()] = offset;
-            offset += count;
-        }
-        tuned.resize(unsorted.len(), (GlobalChannel(0), 0, false));
-        for &entry in unsorted.iter() {
-            let ci = entry.0.index();
-            let at = self.scratch.chan_pos[ci];
-            tuned[at as usize] = entry;
-            self.scratch.chan_pos[ci] = at + 1;
-        }
-    }
-
     /// Runs until `done` holds (checked after every slot) or the budget
     /// is exhausted.
     pub fn run(&mut self, budget: u64, mut done: impl FnMut(&Self) -> bool) -> RunOutcome {
@@ -690,6 +642,18 @@ where
     pub fn into_protocols(self) -> Vec<P> {
         self.protocols
     }
+
+    /// Consumes the network and returns its medium (e.g. to read
+    /// accumulated [`crate::PhysicalDecay`] round counters after a run).
+    pub fn into_medium(self) -> Med {
+        self.medium
+    }
+
+    /// Consumes the network and returns both the protocol instances and
+    /// the medium.
+    pub fn into_parts(self) -> (Vec<P>, Med) {
+        (self.protocols, self.medium)
+    }
 }
 
 #[cfg(test)]
@@ -697,7 +661,7 @@ mod tests {
     use super::*;
     use crate::assignment::{full_overlap, shared_core};
     use crate::channel_model::StaticChannels;
-    use crate::ids::LocalChannel;
+    use crate::ids::{GlobalChannel, LocalChannel};
 
     /// Test protocol: a fixed script of actions; records all events.
     struct Scripted {
@@ -1023,6 +987,28 @@ mod tests {
             result.err(),
             Some(SimError::ProtocolCountMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn builder_swaps_media() {
+        use crate::medium::PhysicalDecay;
+        let model = StaticChannels::global(full_overlap(2, 1).unwrap());
+        let mut net = NetworkBuilder::new(model)
+            .seed(4)
+            .protocol(Scripted::new(vec![Action::Broadcast(LocalChannel(0), 5)]))
+            .protocol(Scripted::new(vec![Action::Listen(LocalChannel(0))]))
+            .medium(PhysicalDecay::new())
+            .build()
+            .unwrap();
+        net.step();
+        assert!(net.medium().physical_rounds() > 0);
+        assert_eq!(
+            net.protocols()[1].events,
+            vec![Event::Received {
+                from: NodeId(0),
+                msg: 5
+            }]
+        );
     }
 
     #[test]

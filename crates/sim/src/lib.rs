@@ -70,20 +70,26 @@ pub mod error;
 pub mod faults;
 pub mod ids;
 pub mod interference;
+pub mod medium;
 pub mod proto;
 pub mod rng;
 pub mod sensing;
+pub mod topology;
 pub mod trace;
 
 pub use assignment::{ChannelAssignment, OverlapPattern};
 pub use channel_model::{ChannelModel, DynamicSharedCore, StaticChannels};
-pub use conformance::{check_slot, replay_winners, Rule, Violation};
+pub use conformance::{check_slot, check_slot_for, replay_winners, Rule, Violation};
 pub use engine::{Network, NetworkBuilder, RunOutcome};
 pub use error::SimError;
 pub use faults::{FaultSchedule, Flaky};
 pub use ids::{GlobalChannel, LocalChannel, NodeId};
 pub use interference::{Intent, Interference, NoInterference};
+pub use medium::{
+    Medium, MediumProfile, OracleMultihop, OracleSingleHop, PhysicalDecay, SlotInputs,
+};
 pub use proto::{Action, Event, NodeCtx, Protocol};
 pub use rng::{derive_rng, mix_seed, SimRng};
 pub use sensing::{sense_assignment, SensingReport, SpectrumConfig};
+pub use topology::Topology;
 pub use trace::{ChannelActivity, SlotActivity, TraceDigest, TraceLog};

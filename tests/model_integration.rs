@@ -8,7 +8,7 @@ use crn::core::cogcast::run_broadcast;
 use crn::core::cogcomp::run_aggregation_default;
 use crn::jamming::{jammed_budget, run_jammed_broadcast, JammerStrategy};
 use crn::sim::channel_model::DynamicSharedCore;
-use rand::rngs::StdRng;
+use crn::sim::SimRng;
 use rand::SeedableRng;
 
 #[test]
@@ -23,8 +23,8 @@ fn backoff_realizes_the_abstract_slot_cheaply() {
         let mut total = 0u64;
         let mut fails = 0usize;
         for seed in 0..trials {
-            let mut rng = StdRng::seed_from_u64(seed);
-            match resolve_contention(m, n_max, budget, &mut rng) {
+            let mut rng = SimRng::seed_from_u64(seed);
+            match resolve_contention(m, n_max, budget, &mut rng).unwrap() {
                 Some(r) => total += r.rounds,
                 None => fails += 1,
             }

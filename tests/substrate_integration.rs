@@ -38,7 +38,7 @@ fn physical_stack_and_oracle_model_agree_on_slot_scale() {
                     .collect()
             })
             .collect();
-        let run = run_physical_broadcast(&sets, seed, 10_000_000);
+        let run = run_physical_broadcast(&sets, seed, 10_000_000).unwrap();
         assert!(run.completed());
         assert_eq!(run.failed_episodes, 0);
         physical_total += run.slots.unwrap();
