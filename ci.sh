@@ -13,7 +13,11 @@
 #   6. the differential model-conformance suite, quick profile (the
 #      Section 2 validator over property-generated workloads plus the
 #      oracle-vs-physical and oracle-vs-multihop cross-checks, and the
-#      medium sweep running the validator over all three media)
+#      medium sweep running the validator over all three media) — run
+#      twice, under CRN_THREADS=1 (sequential stepping) and
+#      CRN_THREADS=4 (every network fanned across the worker pool), so
+#      the parallel decide/observe phases face the same contract and
+#      serial winner replay as the sequential engine
 #   7. the same experiment smoke with the in-step validator compiled
 #      in (--features validate), so every slot of every experiment is
 #      checked against the model contract end to end
@@ -43,8 +47,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> experiments all --quick (smoke)"
 cargo run --release -q -p crn-bench --bin experiments -- all --quick > /dev/null
 
-echo "==> conformance --quick (differential suite)"
-cargo run --release -q -p crn-bench --bin conformance -- --quick
+echo "==> conformance --quick (differential suite, sequential stepping)"
+CRN_THREADS=1 cargo run --release -q -p crn-bench --bin conformance -- --quick
+
+echo "==> conformance --quick (differential suite, 4-worker parallel stepping)"
+CRN_THREADS=4 cargo run --release -q -p crn-bench --bin conformance -- --quick
 
 echo "==> experiments all --quick with the in-step validator (smoke)"
 cargo run --release -q -p crn-bench --features validate --bin experiments -- all --quick > /dev/null

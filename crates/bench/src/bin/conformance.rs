@@ -125,13 +125,20 @@ fn gen_workload(seed: u64) -> Workload {
 /// Steps `slots` slots, conformance-checking each one, then — when the
 /// medium draws its winners from the ENGINE stream — replays the
 /// recorded winners against it. Returns every violation.
+///
+/// Installs pool parallelism at threshold 1 first, so a multi-worker
+/// run (`CRN_THREADS=4 conformance ...`) checks the *parallel* decide
+/// and observe phases against the Section 2 contract and the serial
+/// ENGINE-stream replay — the sweep doubles as a determinism audit of
+/// the intra-slot fan-out.
 fn drive<M, P, CM, Med>(net: &mut Network<M, P, CM, Med>, seed: u64, slots: u64) -> Vec<Violation>
 where
-    M: Clone,
-    P: Protocol<M>,
-    CM: ChannelModel,
+    M: Clone + Send,
+    P: Protocol<M> + Send,
+    CM: ChannelModel + Sync,
     Med: Medium<M>,
 {
+    net.set_parallelism(crn_sim::ParConfig::auto().map(|cfg| cfg.with_threshold(1)));
     let mut violations = Vec::new();
     let mut trace: Vec<SlotActivity> = Vec::with_capacity(slots as usize);
     for _ in 0..slots {
@@ -465,6 +472,23 @@ fn medium_sweep(workloads: u64, media: &[&str]) -> usize {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // Validate the worker-pool width up front (--threads beats
+    // CRN_THREADS): the sweep deliberately steps its networks through
+    // the parallel phases when the pool has more than one worker.
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Some(v.clone()),
+            None => {
+                eprintln!("--threads needs a value");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if let Err(e) = crn_sim::pool::init_from_flag(threads.as_deref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     let media: Vec<&str> = match args
         .iter()
         .position(|a| a == "--medium")
@@ -491,9 +515,15 @@ fn main() -> ExitCode {
     } else {
         (360u64, 200u64, 5u64)
     };
+    let workers = crn_sim::pool::global().workers();
     println!(
-        "model-conformance differential suite ({} profile)",
-        if quick { "quick" } else { "full" }
+        "model-conformance differential suite ({} profile, {workers}-worker pool, {} stepping)",
+        if quick { "quick" } else { "full" },
+        if workers > 1 {
+            "parallel"
+        } else {
+            "sequential"
+        }
     );
     let mut failures = 0usize;
     failures += validator_sweep(sweep);

@@ -46,6 +46,23 @@ fn main() -> ExitCode {
         .position(|a| a == "--time-json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    // Size the worker pool before any experiment touches it; a bad
+    // --threads or CRN_THREADS is a startup error, never a silent
+    // fall-back to the default width.
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Some(v.clone()),
+            None => {
+                eprintln!("--threads needs a value");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if let Err(e) = crn_sim::pool::init_from_flag(threads.as_deref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
@@ -66,6 +83,7 @@ fn main() -> ExitCode {
         .iter()
         .chain(csv_dir.iter())
         .chain(time_json.iter())
+        .chain(threads.iter())
         .collect();
     let mut ids: Vec<String> = args
         .iter()
@@ -211,4 +229,5 @@ fn print_help() {
     println!(
         "  --time-json FILE  write per-experiment wall-clock timings (BENCH_experiments.json)"
     );
+    println!("  --threads N  worker-pool width (overrides CRN_THREADS; default: available cores)");
 }

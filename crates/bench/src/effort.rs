@@ -1,8 +1,8 @@
 //! Effort levels and the parallel trial runner.
 
+use crn_sim::pool::{self, RunMode, WorkerPool};
 use serde::{Deserialize, Serialize};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How much work an experiment invocation spends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,8 +61,16 @@ impl Effort {
     }
 }
 
-/// Runs `f(seed)` for seeds `0..trials` across all cores and returns
-/// the results in seed order.
+/// Runs `f(seed)` for seeds `0..trials` on the process-wide persistent
+/// worker pool ([`crn_sim::pool::global`]) and returns the results in
+/// seed order.
+///
+/// The pool defaults to one worker per core and is governed by the
+/// `CRN_THREADS` env override / `--threads` flag. Because the engine's
+/// intra-slot parallelism draws from the *same* pool, nested use
+/// (parallel trials × parallel slots) shares one core budget: a trial
+/// body that tries to fan out from inside a pool worker simply runs
+/// inline instead of oversubscribing.
 ///
 /// # Panics
 ///
@@ -76,18 +84,16 @@ impl Effort {
 /// assert_eq!(xs, vec![0, 2, 4, 6, 8, 10, 12, 14]);
 /// ```
 pub fn par_trials<T: Send>(trials: usize, f: impl Fn(u64) -> T + Sync) -> Vec<T> {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    par_trials_with_workers(trials, workers, f)
+    run_trials_on(&pool::global(), trials, &f).0
 }
 
 /// One result slot, written by exactly one worker.
 ///
 /// Safety: the index of each slot is claimed from an atomic counter by
 /// exactly one worker, which performs the only write; reads happen only
-/// after every worker has been joined. The `Sync` bound is therefore
-/// sound for any `T: Send`.
+/// after the pool's end-of-job barrier (or the scoped join, for the
+/// static-chunked baseline). The `Sync` bound is therefore sound for
+/// any `T: Send`.
 struct TrialSlot<T>(UnsafeCell<Option<T>>);
 
 unsafe impl<T: Send> Sync for TrialSlot<T> {}
@@ -124,43 +130,58 @@ pub fn par_trials_with_worker_loads<T: Send>(
     if workers <= 1 {
         return ((0..trials as u64).map(f).collect(), vec![trials]);
     }
+    // Reuse the shared persistent pool when it matches the requested
+    // width (the common case — everything then draws from one core
+    // budget); spawn a dedicated pool only for explicit non-default
+    // widths, e.g. the worker-count sweeps in stress tests.
+    let global = pool::global();
+    let dedicated;
+    let pool: &WorkerPool = if global.workers() == workers {
+        &global
+    } else {
+        dedicated = WorkerPool::new(workers);
+        &dedicated
+    };
+    let (results, mode) = run_trials_on(pool, trials, &f);
+    let loads = match mode {
+        RunMode::Parallel => pool.last_loads(),
+        RunMode::Inline => {
+            // The submitting thread ran every trial itself (nested
+            // call, or a job already in flight on the shared pool).
+            let mut loads = vec![0usize; workers];
+            loads[0] = trials;
+            loads
+        }
+    };
+    (results, loads)
+}
+
+/// The shared scheduling core: fans seeds `0..trials` across `pool`
+/// at chunk size 1 (trial-granular work stealing — workers claim the
+/// next unstarted seed from one atomic counter), writing each result
+/// into its seed-keyed slot.
+fn run_trials_on<T: Send>(
+    pool: &WorkerPool,
+    trials: usize,
+    f: &(impl Fn(u64) -> T + Sync),
+) -> (Vec<T>, RunMode) {
     let slots: Vec<TrialSlot<T>> = (0..trials)
         .map(|_| TrialSlot(UnsafeCell::new(None)))
         .collect();
-    let next = AtomicUsize::new(0);
-    let mut loads = vec![0usize; workers];
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let (f, slots, next) = (&f, &slots, &next);
-                s.spawn(move || {
-                    let mut claimed = 0usize;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= trials {
-                            break;
-                        }
-                        let result = f(i as u64);
-                        // Safety: index `i` was claimed by this worker
-                        // alone (fetch_add hands out each value once).
-                        unsafe { *slots[i].0.get() = Some(result) };
-                        claimed += 1;
-                    }
-                    claimed
-                })
-            })
-            .collect();
-        for (w, handle) in handles.into_iter().enumerate() {
-            loads[w] = handle
-                .join()
-                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+    let mode = pool.run(trials, 1, &|start, end| {
+        for (offset, slot) in slots[start..end].iter().enumerate() {
+            let result = f((start + offset) as u64);
+            // Safety: the pool hands each index to exactly one worker,
+            // which performs the only write; reads happen after the
+            // pool's end-of-job barrier.
+            unsafe { *slot.0.get() = Some(result) };
         }
     });
     let results = slots
         .into_iter()
         .map(|slot| slot.0.into_inner().expect("every seed was claimed"))
         .collect();
-    (results, loads)
+    (results, mode)
 }
 
 /// The pre-work-stealing scheduler: seeds split into contiguous static

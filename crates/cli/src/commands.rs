@@ -21,6 +21,15 @@ use std::fmt::Write as _;
 
 const BUDGET: u64 = 100_000_000;
 
+/// Applies the `--threads` flag (or the `CRN_THREADS` env override) to
+/// the process-wide worker pool before a command runs. The flag wins
+/// over the env; both are strictly validated — a bad value is an error,
+/// never a silent default, mirroring the unknown-flag policy.
+fn init_threads(opts: &Opts) -> Result<(), String> {
+    let flag = opts.has("threads").then(|| opts.get_str("threads", ""));
+    crn_sim::pool::init_from_flag(flag.as_deref())
+}
+
 fn pattern_by_name(name: &str) -> Result<OverlapPattern, String> {
     OverlapPattern::ALL
         .into_iter()
@@ -101,7 +110,7 @@ fn medium_by_name(name: &str) -> Result<MediumChoice, String> {
 
 /// Runs COGCAST over the chosen medium; accumulates physical-round
 /// counts into `physical_rounds` when the medium is `physical`.
-fn broadcast_on_medium<CM: crn_sim::ChannelModel>(
+fn broadcast_on_medium<CM: crn_sim::ChannelModel + Sync>(
     model: CM,
     seed: u64,
     medium: MediumChoice,
@@ -133,9 +142,10 @@ pub fn broadcast(opts: &Opts) -> Result<String, String> {
     opts.expect_keys(
         "broadcast",
         &[
-            "n", "c", "k", "seed", "trials", "pattern", "churn", "medium",
+            "n", "c", "k", "seed", "trials", "pattern", "churn", "medium", "threads",
         ],
     )?;
+    init_threads(opts)?;
     let (n, c, k, seed, trials) = shape(opts)?;
     let pattern = pattern_by_name(&opts.get_str("pattern", "shared-core"))?;
     let medium = medium_by_name(&opts.get_str("medium", "oracle"))?;
@@ -195,8 +205,11 @@ pub fn broadcast(opts: &Opts) -> Result<String, String> {
 pub fn aggregate(opts: &Opts) -> Result<String, String> {
     opts.expect_keys(
         "aggregate",
-        &["n", "c", "k", "seed", "trials", "op", "pattern", "alpha"],
+        &[
+            "n", "c", "k", "seed", "trials", "op", "pattern", "alpha", "threads",
+        ],
     )?;
+    init_threads(opts)?;
     let (n, c, k, seed, trials) = shape(opts)?;
     let op = opts.get_str("op", "sum");
     let pattern = pattern_by_name(&opts.get_str("pattern", "shared-core"))?;
@@ -246,7 +259,11 @@ pub fn aggregate(opts: &Opts) -> Result<String, String> {
 
 /// `crn rendezvous` — pairwise rendezvous, randomized or deterministic.
 pub fn rendezvous(opts: &Opts) -> Result<String, String> {
-    opts.expect_keys("rendezvous", &["c", "k", "seed", "trials", "deterministic"])?;
+    opts.expect_keys(
+        "rendezvous",
+        &["c", "k", "seed", "trials", "deterministic", "threads"],
+    )?;
+    init_threads(opts)?;
     let c = opts.get("c", 8usize)?;
     let k = opts.get("k", 2usize)?;
     let seed = opts.get("seed", 1u64)?;
@@ -285,7 +302,11 @@ pub fn rendezvous(opts: &Opts) -> Result<String, String> {
 
 /// `crn flood` — COGCAST over a multi-hop topology.
 pub fn flood(opts: &Opts) -> Result<String, String> {
-    opts.expect_keys("flood", &["n", "c", "k", "seed", "trials", "topology"])?;
+    opts.expect_keys(
+        "flood",
+        &["n", "c", "k", "seed", "trials", "topology", "threads"],
+    )?;
+    init_threads(opts)?;
     let (n, c, k, seed, trials) = shape(opts)?;
     let shape_name = opts.get_str("topology", "grid");
     let topo = match shape_name.as_str() {
@@ -322,7 +343,8 @@ pub fn flood(opts: &Opts) -> Result<String, String> {
 
 /// `crn game` — play the bipartite hitting game.
 pub fn game(opts: &Opts) -> Result<String, String> {
-    opts.expect_keys("game", &["c", "k", "seed", "trials", "player"])?;
+    opts.expect_keys("game", &["c", "k", "seed", "trials", "player", "threads"])?;
+    init_threads(opts)?;
     let c = opts.get("c", 16usize)?;
     let k = opts.get("k", 2usize)?;
     let seed = opts.get("seed", 1u64)?;
@@ -378,7 +400,11 @@ fn play_boxed(
 
 /// `crn jam` — COGCAST against an n-uniform jammer.
 pub fn jam(opts: &Opts) -> Result<String, String> {
-    opts.expect_keys("jam", &["n", "c", "k", "seed", "trials", "strategy"])?;
+    opts.expect_keys(
+        "jam",
+        &["n", "c", "k", "seed", "trials", "strategy", "threads"],
+    )?;
+    init_threads(opts)?;
     let (n, c, k, seed, trials) = shape(opts)?;
     if 2 * k >= c {
         return Err(format!(
@@ -412,7 +438,8 @@ pub fn jam(opts: &Opts) -> Result<String, String> {
 
 /// `crn backoff` — resolve contention on the physical radio.
 pub fn backoff(opts: &Opts) -> Result<String, String> {
-    opts.expect_keys("backoff", &["m", "nmax", "seed", "trials"])?;
+    opts.expect_keys("backoff", &["m", "nmax", "seed", "trials", "threads"])?;
+    init_threads(opts)?;
     let m = opts.get("m", 16usize)?;
     let n_max = opts.get("nmax", 256usize)?;
     let seed = opts.get("seed", 1u64)?;
@@ -449,8 +476,9 @@ pub fn monitor(opts: &Opts) -> Result<String, String> {
     use crn_core::cogcomp::run_repeated_aggregation;
     opts.expect_keys(
         "monitor",
-        &["n", "c", "k", "seed", "trials", "rounds", "op"],
+        &["n", "c", "k", "seed", "trials", "rounds", "op", "threads"],
     )?;
+    init_threads(opts)?;
     let (n, c, k, seed, _trials) = shape(opts)?;
     let rounds = opts.get("rounds", 5usize)?;
     let op = opts.get_str("op", "max");
@@ -552,8 +580,14 @@ COMMANDS
   monitor     amortized repeated aggregation (one tree, many rounds)
               --n 32 --c 8 --k 2 --rounds 5 --op max
 
+GLOBAL FLAGS
+  --threads N   worker-pool width for parallel phases (every command).
+                Overrides the CRN_THREADS env var; defaults to the
+                machine's available cores. Strictly validated: 0, junk
+                or out-of-range values are errors, never defaults.
+
 Patterns: full-overlap, shared-core, random-dispersed, random-congested, clustered.
-All commands are deterministic for a fixed --seed.
+All commands are deterministic for a fixed --seed (at any --threads).
 "
     .to_string()
 }
@@ -756,6 +790,65 @@ mod tests {
         ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
+    }
+
+    #[test]
+    fn threads_flag_rejects_bad_values() {
+        // Mirrors the unknown-flag policy: a bad --threads is an error
+        // up front, never a silent fall-back to the default width.
+        for bad in [
+            &["--threads", "0"][..],
+            &["--threads", "abc"],
+            &["--threads", "-3"],
+            &["--threads", "1000000"],
+            &["--threads"], // bare boolean flag parses as "true"
+        ] {
+            let err = broadcast(&opts(bad)).unwrap_err();
+            assert!(err.contains("--threads"), "{bad:?}: {err}");
+            assert!(err.contains("thread count"), "{bad:?}: {err}");
+        }
+        // Every command accepts and validates the flag.
+        for cmd in [
+            "broadcast",
+            "aggregate",
+            "rendezvous",
+            "flood",
+            "game",
+            "jam",
+            "backoff",
+            "monitor",
+        ] {
+            let result = dispatch(cmd, &opts(&["--threads", "0"])).expect("known command");
+            let err = result.unwrap_err();
+            assert!(err.contains("--threads"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn threads_flag_accepts_configured_width() {
+        // Use the width the lazy global pool would pick anyway: the
+        // pool is process-wide, so any other width could conflict with
+        // pool-using tests in this same test process (and the right
+        // width must be accepted idempotently).
+        let w = crn_sim::pool::configured_workers().unwrap().to_string();
+        let out = broadcast(&opts(&[
+            "--n",
+            "10",
+            "--c",
+            "4",
+            "--trials",
+            "2",
+            "--threads",
+            &w,
+        ]))
+        .unwrap();
+        assert!(out.contains("COGCAST local broadcast"), "{out}");
+    }
+
+    #[test]
+    fn help_documents_threads_flag() {
+        assert!(help().contains("--threads"));
+        assert!(help().contains("CRN_THREADS"));
     }
 
     #[test]

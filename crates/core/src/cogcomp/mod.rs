@@ -71,7 +71,7 @@ impl<V> AggregationRun<V> {
 /// assert_eq!(run.result, Some(Sum((0..12).sum())));
 /// # Ok::<(), crn_sim::SimError>(())
 /// ```
-pub fn run_aggregation<CM: ChannelModel, V: Aggregate>(
+pub fn run_aggregation<CM: ChannelModel + Sync, V: Aggregate>(
     model: CM,
     values: Vec<V>,
     seed: u64,
@@ -96,7 +96,7 @@ pub fn run_aggregation_on<CM, V, Med>(
     medium: Med,
 ) -> Result<(AggregationRun<V>, Med), SimError>
 where
-    CM: ChannelModel,
+    CM: ChannelModel + Sync,
     V: Aggregate,
     Med: crn_sim::Medium<CogCompMsg<V>>,
 {
@@ -114,7 +114,7 @@ where
 /// Returns [`SimError::InvalidParams`] if `values.len()` differs from
 /// the model's node count or `cfg` disagrees with the model's shape,
 /// and propagates network construction errors.
-pub fn run_aggregation_cfg<CM: ChannelModel, V: Aggregate>(
+pub fn run_aggregation_cfg<CM: ChannelModel + Sync, V: Aggregate>(
     model: CM,
     values: Vec<V>,
     seed: u64,
@@ -155,7 +155,7 @@ pub fn run_aggregation_cfg_on<CM, V, Med>(
     medium: Med,
 ) -> Result<(AggregationRun<V>, Med), SimError>
 where
-    CM: ChannelModel,
+    CM: ChannelModel + Sync,
     V: Aggregate,
     Med: crn_sim::Medium<CogCompMsg<V>>,
 {
@@ -182,6 +182,9 @@ where
     protos.extend(values.map(|v| CogComp::node(cfg, v)));
 
     let mut net = Network::with_medium(model, protos, seed, medium)?;
+    // Digest-identical at any worker count; engages only above the
+    // small-n threshold.
+    net.set_parallelism(crn_sim::ParConfig::auto());
     let outcome = net.run_to_completion(budget);
     let slots = outcome.slots();
     let (protos, medium) = net.into_parts();
@@ -256,7 +259,7 @@ impl<V> RepeatedAggregationRun<V> {
 /// assert_eq!(run.results[2], Some(Max(92)));
 /// # Ok::<(), crn_sim::SimError>(())
 /// ```
-pub fn run_repeated_aggregation<CM: ChannelModel, V: Aggregate>(
+pub fn run_repeated_aggregation<CM: ChannelModel + Sync, V: Aggregate>(
     model: CM,
     rounds_values: Vec<Vec<V>>,
     seed: u64,
@@ -291,6 +294,7 @@ pub fn run_repeated_aggregation<CM: ChannelModel, V: Aggregate>(
     protos.extend(per_node.map(|vs| CogComp::node_with_values(cfg, vs)));
 
     let mut net = Network::new(model, protos, seed)?;
+    net.set_parallelism(crn_sim::ParConfig::auto());
     let outcome = net.run_to_completion(cfg.recommended_budget());
     let slots = outcome.slots();
     let protos = net.into_protocols();
@@ -309,7 +313,7 @@ pub fn run_repeated_aggregation<CM: ChannelModel, V: Aggregate>(
 /// # Errors
 ///
 /// Same as [`run_aggregation`].
-pub fn run_aggregation_default<CM: ChannelModel, V: Aggregate>(
+pub fn run_aggregation_default<CM: ChannelModel + Sync, V: Aggregate>(
     model: CM,
     values: Vec<V>,
     seed: u64,
@@ -355,7 +359,7 @@ pub struct ConfirmedBroadcast {
 /// assert_eq!(out.reached, 12);
 /// # Ok::<(), crn_sim::SimError>(())
 /// ```
-pub fn run_confirmed_broadcast<CM: ChannelModel>(
+pub fn run_confirmed_broadcast<CM: ChannelModel + Sync>(
     model: CM,
     seed: u64,
     alpha: f64,

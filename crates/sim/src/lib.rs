@@ -71,6 +71,7 @@ pub mod faults;
 pub mod ids;
 pub mod interference;
 pub mod medium;
+pub mod pool;
 pub mod proto;
 pub mod rng;
 pub mod sensing;
@@ -80,7 +81,7 @@ pub mod trace;
 pub use assignment::{ChannelAssignment, OverlapPattern};
 pub use channel_model::{ChannelModel, DynamicSharedCore, StaticChannels};
 pub use conformance::{check_slot, check_slot_for, replay_winners, Rule, Violation};
-pub use engine::{Network, NetworkBuilder, RunOutcome};
+pub use engine::{Network, NetworkBuilder, ParConfig, RunOutcome, DEFAULT_PAR_THRESHOLD};
 pub use error::SimError;
 pub use faults::{FaultSchedule, Flaky};
 pub use ids::{GlobalChannel, LocalChannel, NodeId};
@@ -88,6 +89,7 @@ pub use interference::{Intent, Interference, NoInterference};
 pub use medium::{
     Medium, MediumProfile, OracleMultihop, OracleSingleHop, PhysicalDecay, SlotInputs,
 };
+pub use pool::WorkerPool;
 pub use proto::{Action, Event, NodeCtx, Protocol};
 pub use rng::{derive_rng, mix_seed, SimRng};
 pub use sensing::{sense_assignment, SensingReport, SpectrumConfig};

@@ -139,4 +139,20 @@ fn step_is_allocation_free_in_steady_state() {
         },
         "with interference",
     );
+
+    // Parallel path: a dedicated 2-worker pool at threshold 1, so every
+    // step fans decide/observe across the pool. The pool's threads and
+    // job plumbing are built up front (and the warm-up absorbs any
+    // first-epoch laziness); the steady-state contract is the same zero
+    // as the sequential path — no per-slot spawns, boxes or channels.
+    let model = StaticChannels::local(shared_core(n, 8, 2).unwrap(), 13);
+    let mut par_net = Network::new(model, hopper_protos(n), 13).unwrap();
+    let pool = std::sync::Arc::new(crn_sim::WorkerPool::new(2));
+    par_net.set_parallelism(Some(crn_sim::ParConfig::new(pool).with_threshold(1)));
+    assert_steady_state_alloc_free(
+        || {
+            par_net.step();
+        },
+        "parallel (2 workers)",
+    );
 }
